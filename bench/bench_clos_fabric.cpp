@@ -1,0 +1,98 @@
+// Ablation of the fabric choice §2 leaves open: crossbar vs three-stage
+// Clos network. A rearrangeably non-blocking Clos (m >= k) carries any
+// schedule the LCF scheduler computes — same delay, fewer crosspoints —
+// while an under-provisioned Clos (m < k) blocks connections and caps
+// throughput. This bench measures both, plus the crosspoint savings.
+
+#include <iostream>
+
+#include "fabric/clos.hpp"
+#include "sim/runner.hpp"
+#include "sim/switch_sim.hpp"
+#include "core/factory.hpp"
+#include "traffic/traffic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Crosspoint count of C(k, m, r): r switches of k x m, m of r x r,
+/// r of m x k.
+std::uint64_t clos_crosspoints(std::size_t k, std::size_t m, std::size_t r) {
+    return 2 * static_cast<std::uint64_t>(r) * k * m +
+           static_cast<std::uint64_t>(m) * r * r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t ports = 16;
+    std::uint64_t group = 4;
+    std::uint64_t slots = 30000;
+    lcf::util::CliParser cli("Fabric ablation: crossbar vs Clos network");
+    cli.flag("ports", "switch radix (multiple of group)", &ports)
+        .flag("group", "Clos first-stage size k", &group)
+        .flag("slots", "simulated slots per point", &slots);
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    using lcf::util::AsciiTable;
+    const auto n = static_cast<std::size_t>(ports);
+    const auto k = static_cast<std::size_t>(group);
+    const std::size_t r = n / k;
+
+    std::cout << "Crosspoint cost, " << n << " ports (crossbar: " << n * n
+              << " crosspoints):\n";
+    AsciiTable xp;
+    xp.header({"fabric", "crosspoints", "vs crossbar", "non-blocking"});
+    xp.add_row({"crossbar", std::to_string(n * n), "1.00x", "strict"});
+    for (const std::size_t m : {k / 2, k, 2 * k - 1}) {
+        if (m == 0) continue;
+        const auto c = clos_crosspoints(k, m, r);
+        char label[64];
+        std::snprintf(label, sizeof(label), "Clos(%zu,%zu,%zu)", k, m, r);
+        xp.add_row({label, std::to_string(c),
+                    AsciiTable::num(static_cast<double>(c) /
+                                        static_cast<double>(n * n),
+                                    2) +
+                        "x",
+                    m >= k ? "rearrangeable" : "BLOCKING"});
+    }
+    xp.print(std::cout);
+    std::cout << "(m >= k gives Slepian-Duguid rearrangeability; m >= 2k-1 "
+                 "would be strict-sense non-blocking)\n\n";
+
+    std::cout << "Simulated behaviour under uniform traffic "
+                 "(lcf_central_rr, "
+              << slots << " slots):\n";
+    AsciiTable t;
+    t.header({"fabric", "load", "mean delay", "throughput",
+              "blocked connections"});
+    for (const double load : {0.5, 0.9}) {
+        for (const std::size_t m : {std::size_t{0}, k, k / 2}) {
+            lcf::sim::SimConfig config;
+            config.ports = n;
+            config.slots = slots;
+            config.warmup_slots = slots / 10;
+            config.clos_middle = m;
+            config.clos_group = k;
+            lcf::sim::SwitchSim sim(
+                config, lcf::core::make_scheduler("lcf_central_rr"),
+                lcf::traffic::make_traffic("uniform", load));
+            const auto res = sim.run();
+            std::string label = "crossbar";
+            if (m > 0) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "Clos(%zu,%zu,%zu)", k, m, r);
+                label = buf;
+            }
+            t.add_row({label, AsciiTable::num(load, 1),
+                       AsciiTable::num(res.mean_delay, 2),
+                       AsciiTable::num(res.throughput, 3),
+                       std::to_string(res.fabric_blocked)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "(the non-blocking Clos reproduces the crossbar exactly; "
+                 "halving the middle stage caps throughput near m/k)\n";
+    return 0;
+}

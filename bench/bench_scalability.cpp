@@ -1,0 +1,108 @@
+// Ablation: behaviour as the switch radix grows (the paper's
+// scalability discussion, §6.2). For n = 4..64 this reports queuing
+// delay at fixed load plus the measured wall-clock cost of one
+// schedule() call, whose growth exposes the O(n) central vs iterative
+// distributed trade-off in software form.
+
+#include <chrono>
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Mean ns per schedule() call on random 35%-dense matrices.
+double schedule_ns(lcf::sched::Scheduler& s, std::size_t n) {
+    lcf::util::Xoshiro256 rng(n);
+    std::vector<lcf::sched::RequestMatrix> inputs;
+    for (int k = 0; k < 32; ++k) {
+        lcf::sched::RequestMatrix r(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                if (rng.next_bool(0.35)) r.set(i, j);
+            }
+        }
+        inputs.push_back(std::move(r));
+    }
+    lcf::sched::Matching m;
+    constexpr int kReps = 200;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+        for (const auto& r : inputs) s.schedule(r, m);
+    }
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return std::chrono::duration<double, std::nano>(dt).count() /
+           (kReps * static_cast<double>(inputs.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t slots = 30000;
+    double load = 0.8;
+    std::uint64_t threads = 0;
+    lcf::util::CliParser cli("Radix scalability: delay and schedule cost "
+                             "vs port count");
+    cli.flag("slots", "simulated slots per point", &slots)
+        .flag("load", "offered load", &load)
+        .flag("threads", "worker threads (0 = all cores)", &threads);
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    using lcf::util::AsciiTable;
+    const std::vector<std::string> names = {"lcf_central", "lcf_central_rr",
+                                            "lcf_dist", "islip", "pim"};
+
+    std::cout << "Mean queuing delay at load " << load
+              << " vs switch radix:\n";
+    AsciiTable delay_table;
+    {
+        std::vector<std::string> header = {"n"};
+        header.insert(header.end(), names.begin(), names.end());
+        header.push_back("outbuf");
+        delay_table.header(header);
+    }
+    for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+        lcf::sim::SimConfig config;
+        config.ports = n;
+        config.slots = slots;
+        config.warmup_slots = slots / 10;
+        std::vector<std::string> row = {std::to_string(n)};
+        auto all = names;
+        all.push_back("outbuf");
+        const auto points = lcf::sim::sweep(all, {load}, config, "uniform",
+                                            lcf::sched::SchedulerConfig{},
+                                            threads);
+        for (const auto& p : points) {
+            row.push_back(AsciiTable::num(p.result.mean_delay, 2));
+        }
+        delay_table.add_row(row);
+    }
+    delay_table.print(std::cout);
+
+    std::cout << "\nSoftware schedule() cost [ns/call, 35%-dense random "
+                 "requests]:\n";
+    AsciiTable cost_table;
+    {
+        std::vector<std::string> header = {"n"};
+        header.insert(header.end(), names.begin(), names.end());
+        cost_table.header(header);
+    }
+    for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        std::vector<std::string> row = {std::to_string(n)};
+        for (const auto& name : names) {
+            auto s = lcf::core::make_scheduler(name);
+            s->reset(n, n);
+            row.push_back(AsciiTable::num(schedule_ns(*s, n), 0));
+        }
+        cost_table.add_row(row);
+    }
+    cost_table.print(std::cout);
+    std::cout << "(hardware analogue: Table 2's 5n+3 cycles for the central "
+                 "scheduler vs O(log2 n) iterations for the distributed "
+                 "one)\n";
+    return 0;
+}

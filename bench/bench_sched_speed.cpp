@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks: raw schedule() computation cost per
+// scheduler and radix, on random request matrices of fixed density.
+// This is the software analogue of §6.2's speed comparison (O(n)
+// sequential central scheduler vs O(log n)-iteration distributed one).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "hw/rtl_central.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using lcf::sched::Matching;
+using lcf::sched::RequestMatrix;
+
+std::vector<RequestMatrix> make_inputs(std::size_t n, double density,
+                                       std::size_t count) {
+    lcf::util::Xoshiro256 rng(n * 1000 + 17);
+    std::vector<RequestMatrix> inputs;
+    inputs.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+        RequestMatrix r(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                if (rng.next_bool(density)) r.set(i, j);
+            }
+        }
+        inputs.push_back(std::move(r));
+    }
+    return inputs;
+}
+
+void run_scheduler(benchmark::State& state, const std::string& name) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto s = lcf::core::make_scheduler(
+        name, lcf::sched::SchedulerConfig{.iterations = 4, .seed = 2});
+    s->reset(n, n);
+    const auto inputs = make_inputs(n, 0.35, 32);
+    Matching m;
+    std::size_t k = 0;
+    for (auto _ : state) {
+        s->schedule(inputs[k], m);
+        benchmark::DoNotOptimize(m);
+        k = (k + 1) % inputs.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_LcfCentral(benchmark::State& state) {
+    run_scheduler(state, "lcf_central");
+}
+void BM_LcfCentralRr(benchmark::State& state) {
+    run_scheduler(state, "lcf_central_rr");
+}
+void BM_LcfDist(benchmark::State& state) { run_scheduler(state, "lcf_dist"); }
+void BM_LcfDistRr(benchmark::State& state) {
+    run_scheduler(state, "lcf_dist_rr");
+}
+void BM_Pim(benchmark::State& state) { run_scheduler(state, "pim"); }
+void BM_Islip(benchmark::State& state) { run_scheduler(state, "islip"); }
+void BM_Wavefront(benchmark::State& state) { run_scheduler(state, "wfront"); }
+void BM_MaxSize(benchmark::State& state) { run_scheduler(state, "maxsize"); }
+
+void BM_RtlDatapath(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    lcf::hw::RtlCentralScheduler s;
+    s.reset(n, n);
+    const auto inputs = make_inputs(n, 0.35, 32);
+    Matching m;
+    std::size_t k = 0;
+    for (auto _ : state) {
+        s.schedule(inputs[k], m);
+        benchmark::DoNotOptimize(m);
+        k = (k + 1) % inputs.size();
+    }
+}
+
+constexpr std::int64_t kRadices[] = {8, 16, 32, 64};
+
+void radix_args(benchmark::internal::Benchmark* b) {
+    for (const auto n : kRadices) b->Arg(n);
+}
+
+BENCHMARK(BM_LcfCentral)->Apply(radix_args);
+BENCHMARK(BM_LcfCentralRr)->Apply(radix_args);
+BENCHMARK(BM_LcfDist)->Apply(radix_args);
+BENCHMARK(BM_LcfDistRr)->Apply(radix_args);
+BENCHMARK(BM_Pim)->Apply(radix_args);
+BENCHMARK(BM_Islip)->Apply(radix_args);
+BENCHMARK(BM_Wavefront)->Apply(radix_args);
+BENCHMARK(BM_MaxSize)->Apply(radix_args);
+BENCHMARK(BM_RtlDatapath)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

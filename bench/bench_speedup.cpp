@@ -1,0 +1,68 @@
+// Ablation beyond the paper: crossbar speedup. With speedup s the
+// fabric forwards up to s packets per input/output per slot into
+// line-rate-drained output buffers. The classic result — a VOQ switch
+// with s = 2 nearly closes the gap to output buffering even with a
+// simple scheduler — situates the paper's s = 1 design point: LCF buys
+// with scheduling intelligence much of what speedup buys with fabric
+// bandwidth.
+
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "sim/runner.hpp"
+#include "sim/switch_sim.hpp"
+#include "traffic/traffic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    std::uint64_t ports = 16;
+    std::uint64_t slots = 50000;
+    lcf::util::CliParser cli("Crossbar speedup ablation");
+    cli.flag("ports", "switch radix", &ports)
+        .flag("slots", "simulated slots per point", &slots);
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    using lcf::util::AsciiTable;
+    lcf::sim::SimConfig base;
+    base.ports = ports;
+    base.slots = slots;
+    base.warmup_slots = slots / 10;
+
+    const std::vector<std::pair<std::string, std::size_t>> configs = {
+        {"islip", 1},       {"islip", 2},       {"lcf_central", 1},
+        {"lcf_central", 2}, {"lcf_central_rr", 1},
+    };
+
+    AsciiTable t;
+    {
+        std::vector<std::string> header = {"load"};
+        for (const auto& [name, s] : configs) {
+            header.push_back(name + " s=" + std::to_string(s));
+        }
+        header.push_back("outbuf");
+        t.header(header);
+    }
+    for (const double load : {0.5, 0.8, 0.9, 0.95, 0.98}) {
+        std::vector<std::string> row = {AsciiTable::num(load, 2)};
+        for (const auto& [name, s] : configs) {
+            lcf::sim::SimConfig config = base;
+            config.speedup = s;
+            lcf::sim::SwitchSim sim(
+                config, lcf::core::make_scheduler(name),
+                lcf::traffic::make_traffic("uniform", load));
+            row.push_back(AsciiTable::num(sim.run().mean_delay, 2));
+        }
+        row.push_back(AsciiTable::num(
+            lcf::sim::run_named("outbuf", base, "uniform", load).mean_delay,
+            2));
+        t.add_row(row);
+    }
+    std::cout << "Mean queuing delay [slots] vs load, " << ports
+              << " ports:\n";
+    t.print(std::cout);
+    std::cout << "(speedup 2 converges on the output-buffered ideal; note "
+                 "how close lcf_central at s=1 already sits — scheduling "
+                 "quality substituting for fabric bandwidth)\n";
+    return 0;
+}

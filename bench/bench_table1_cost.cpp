@@ -1,0 +1,65 @@
+// Regenerates Table 1 of the paper: gate and register counts of the
+// central LCF scheduler implementation, partitioned into the per-
+// requester slices (the "distributed" logic that can live on line
+// cards) and the shared central part — plus the scaling the paper's
+// FPGA prototype could not show.
+
+#include <iostream>
+
+#include "hw/gate_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    std::uint64_t ports = 16;
+    lcf::util::CliParser cli(
+        "Table 1: gate/register counts of the LCF scheduler");
+    cli.flag("ports", "switch radix for the detail table", &ports);
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    using lcf::hw::GateModel;
+    using lcf::util::AsciiTable;
+    const auto n = static_cast<std::size_t>(ports);
+
+    std::cout << "Table 1 reproduction (n = " << n << ")\n";
+    AsciiTable t1;
+    t1.header({"", "Distributed", "Central", "Total"});
+    const auto slice = GateModel::slice(n);
+    const auto central = GateModel::central(n);
+    const auto total = GateModel::total(n);
+    t1.add_row({"Gate count",
+                std::to_string(n) + "x" + std::to_string(slice.gates) + "=" +
+                    std::to_string(n * slice.gates),
+                std::to_string(central.gates), std::to_string(total.gates)});
+    t1.add_row({"Reg. count",
+                std::to_string(n) + "x" + std::to_string(slice.registers) +
+                    "=" + std::to_string(n * slice.registers),
+                std::to_string(central.registers),
+                std::to_string(total.registers)});
+    t1.print(std::cout);
+    std::cout << "(paper, n=16: 16x450=7200 / 767 / 7967 gates; "
+                 "16x86=1376 / 216 / 1592 registers)\n\n";
+
+    std::cout << "Scaling (model extrapolation beyond the paper's n = 16):\n";
+    AsciiTable scaling;
+    scaling.header({"n", "slice gates", "slice regs", "central gates",
+                    "central regs", "total gates", "total regs",
+                    "XCV600 util"});
+    for (const std::size_t radix : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        const auto s = GateModel::slice(radix);
+        const auto c = GateModel::central(radix);
+        const auto tot = GateModel::total(radix);
+        scaling.add_row({std::to_string(radix), std::to_string(s.gates),
+                         std::to_string(s.registers), std::to_string(c.gates),
+                         std::to_string(c.registers),
+                         std::to_string(tot.gates),
+                         std::to_string(tot.registers),
+                         AsciiTable::num(
+                             100.0 * GateModel::xcv600_utilization(radix), 1) +
+                             "%"});
+    }
+    scaling.print(std::cout);
+    std::cout << "(the paper reports the n=16 design uses 15% of the "
+                 "XCV600's logic resources)\n";
+    return 0;
+}

@@ -1,0 +1,122 @@
+// Capstone example tying every model in the library together: for a
+// given switch radix and target load, compare the central and
+// distributed LCF designs the way §6 of the paper does — implementation
+// cost (Table 1 model), scheduling time (Table 2 model), communication
+// cost (§6.2 model, analytic and measured), and simulated queuing delay
+// — and print a design-recommendation summary.
+//
+//   ./design_explorer --ports 32 --load 0.85
+
+#include <iostream>
+
+#include "core/factory.hpp"
+#include "hw/comm_model.hpp"
+#include "hw/dist_message_sim.hpp"
+#include "hw/gate_model.hpp"
+#include "hw/timing_model.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    std::uint64_t ports = 16;
+    double load = 0.85;
+    std::uint64_t iterations = 4;
+    std::uint64_t slots = 40000;
+    lcf::util::CliParser cli("LCF switch design explorer");
+    cli.flag("ports", "switch radix", &ports)
+        .flag("load", "design-point offered load", &load)
+        .flag("iterations", "distributed-scheduler iterations", &iterations)
+        .flag("slots", "simulation length", &slots);
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    using lcf::util::AsciiTable;
+    const auto n = static_cast<std::size_t>(ports);
+    const auto iters = static_cast<std::size_t>(iterations);
+
+    std::cout << "LCF design point: " << n << " ports at load " << load
+              << "\n\n";
+
+    lcf::sim::SimConfig config;
+    config.ports = n;
+    config.slots = slots;
+    config.warmup_slots = slots / 10;
+
+    const auto central =
+        lcf::sim::run_named("lcf_central_rr", config, "uniform", load);
+    const auto dist = lcf::sim::run_named(
+        "lcf_dist_rr", config, "uniform", load,
+        lcf::sched::SchedulerConfig{.iterations = iters});
+    const auto outbuf = lcf::sim::run_named("outbuf", config, "uniform", load);
+
+    const lcf::hw::TimingModel timing;
+    const auto gates = lcf::hw::GateModel::total(n);
+
+    AsciiTable t;
+    t.header({"criterion", "central LCF (rr)", "distributed LCF (rr)",
+              "reference"});
+    t.add_row({"mean delay [slots]", AsciiTable::num(central.mean_delay, 2),
+               AsciiTable::num(dist.mean_delay, 2),
+               AsciiTable::num(outbuf.mean_delay, 2) + " (outbuf)"});
+    t.add_row({"p99 delay [slots]", AsciiTable::num(central.p99_delay, 0),
+               AsciiTable::num(dist.p99_delay, 0),
+               AsciiTable::num(outbuf.p99_delay, 0) + " (outbuf)"});
+    t.add_row({"scheduling time",
+               AsciiTable::num(
+                   timing.seconds(lcf::hw::TimingModel::total_cycles(n)) * 1e9,
+                   0) + " ns (5n+3 cyc)",
+               std::to_string(iters) + " iterations (O(log2 n))",
+               "66 MHz clock"});
+    t.add_row({"logic cost (gates)", std::to_string(gates.gates),
+               std::to_string(n) + " slices on line cards",
+               AsciiTable::num(100 * lcf::hw::GateModel::xcv600_utilization(n),
+                               1) + "% of XCV600"});
+    t.add_row({"control traffic/cycle",
+               std::to_string(lcf::hw::CommModel::central_bits(n)) + " bits",
+               std::to_string(lcf::hw::CommModel::distributed_bits(n, iters)) +
+                   " bits (bound)",
+               AsciiTable::num(lcf::hw::CommModel::overhead_ratio(n, iters),
+                               1) + "x"});
+    t.add_row({"fairness floor", "b/n^2 (hard)", "bounded (RR position)",
+               "paper §3/§5"});
+    t.print(std::cout);
+
+    // Measured control traffic at this load for the distributed design.
+    {
+        lcf::hw::DistMessageSim msg(iters);
+        msg.reset(n, n);
+        // Approximate the request density the simulated load produces.
+        lcf::sched::Matching m;
+        lcf::util::Xoshiro256 rng(7);
+        for (int cycle = 0; cycle < 400; ++cycle) {
+            lcf::sched::RequestMatrix r(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (rng.next_bool(load / static_cast<double>(n) * 4)) {
+                        r.set(i, j);
+                    }
+                }
+            }
+            msg.schedule(r, m);
+        }
+        std::cout << "\nMeasured distributed control traffic at this "
+                     "operating point: "
+                  << AsciiTable::num(msg.bits_per_cycle(), 0)
+                  << " bits/cycle ("
+                  << AsciiTable::num(
+                         100.0 * msg.bits_per_cycle() /
+                             static_cast<double>(
+                                 lcf::hw::CommModel::distributed_bits(n,
+                                                                      iters)),
+                         1)
+                  << "% of the worst-case bound).\n";
+    }
+
+    std::cout << "\nRule of thumb (the paper's §5/§6 conclusion): up to "
+                 "~16-32 ports the central scheduler wins on delay and "
+                 "wiring; beyond that, O(n) scheduling time and the "
+                 "backplane pin count favour the distributed design "
+                 "despite its control-traffic overhead.\n";
+    return 0;
+}

@@ -1,0 +1,96 @@
+// Walks through the precalculated-schedule mechanism of §4.3: multicast
+// connections claimed ahead of the regular LCF pass, the integrity
+// check that drops conflicting claims, and the two-stage schedule that
+// fills the remaining ports — first standalone (Figure 7), then through
+// the full Clint bulk pipeline with configuration packets.
+
+#include <iostream>
+
+#include "clint/bulk_channel.hpp"
+#include "core/lcf_central.hpp"
+#include "traffic/traffic.hpp"
+
+namespace {
+
+void print_fanout(const lcf::core::MulticastResult& result) {
+    for (std::size_t j = 0; j < result.fanout.size(); ++j) {
+        std::cout << "    T" << j << " <- ";
+        if (result.fanout[j] == lcf::sched::kUnmatched) {
+            std::cout << "(idle)";
+        } else {
+            std::cout << "I" << result.fanout[j];
+        }
+        std::cout << "\n";
+    }
+    for (const auto& [input, output] : result.dropped) {
+        std::cout << "    dropped precalculated claim I" << input << " -> T"
+                  << output << " (integrity check)\n";
+    }
+}
+
+}  // namespace
+
+int main() {
+    using namespace lcf;
+
+    // ------------------------------------------------------------------
+    // 1. Figure 7: a multicast connection precalculated from I3 to T1
+    //    and T3, with unicast requests competing for the other targets.
+    core::LcfCentralScheduler scheduler;
+    scheduler.reset(4, 4);
+
+    sched::RequestMatrix requests(4);
+    requests.set(0, 0);
+    requests.set(0, 2);
+    requests.set(1, 0);
+    requests.set(1, 2);
+    requests.set(2, 0);
+    requests.set(2, 2);
+
+    core::PrecalcSchedule precalc(4);
+    precalc.claim(3, 1);
+    precalc.claim(3, 3);  // I3 multicasts to T1 and T3
+
+    core::MulticastResult result;
+    scheduler.schedule_with_precalc(requests, precalc, result);
+    std::cout << "Figure 7: multicast I3 -> {T1, T3} plus unicast "
+                 "requests:\n";
+    print_fanout(result);
+
+    // ------------------------------------------------------------------
+    // 2. Conflicting precalculated claims: the scheduler keeps one and
+    //    drops the rest (§4.3's integrity check).
+    core::PrecalcSchedule conflicting(4);
+    conflicting.claim(0, 2);
+    conflicting.claim(1, 2);  // both claim T2
+    scheduler.schedule_with_precalc(sched::RequestMatrix(4), conflicting,
+                                    result);
+    std::cout << "\nConflicting claims on T2:\n";
+    print_fanout(result);
+
+    // ------------------------------------------------------------------
+    // 3. The same mechanism end to end through the Clint bulk channel:
+    //    multicasts ride the configuration packets' `pre` field and are
+    //    admitted by the switch's precalculated stage alongside unicast
+    //    traffic.
+    clint::BulkChannelConfig config;
+    config.hosts = 8;
+    config.slots = 1000;
+    config.warmup_slots = 0;
+    clint::BulkChannelSim sim(config, traffic::make_traffic("uniform", 0.3));
+    for (int k = 0; k < 20; ++k) {
+        sim.enqueue_multicast(static_cast<std::size_t>(k % 8),
+                              0b0101'0000);  // to T4 and T6
+    }
+    const auto stats = sim.run();
+    std::cout << "\nClint bulk channel, 8 hosts, 1000 slots, 20 two-way "
+                 "multicasts injected:\n"
+              << "  multicast copies delivered: " << stats.multicast_copies
+              << "\n  unicast packets delivered: " << stats.delivered
+              << "\n  mean unicast delay:        " << stats.mean_delay
+              << " slots\n";
+    std::cout << "\nThe precalculated schedule reuses the scheduler's "
+                 "existing logic (2n+1 extra cycles, Table 2) and costs "
+                 "regular traffic nothing when idle.\n";
+    return 0;
+}

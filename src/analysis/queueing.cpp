@@ -1,0 +1,57 @@
+#include "analysis/queueing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcf::analysis {
+
+double outbuf_mean_delay(std::size_t ports, double load) {
+    if (ports == 0) throw std::invalid_argument("ports must be positive");
+    if (load < 0.0 || load >= 1.0) {
+        throw std::invalid_argument("load must be in [0, 1) for a finite mean");
+    }
+    const auto n = static_cast<double>(ports);
+    const double wait = (n - 1.0) / n * load / (2.0 * (1.0 - load));
+    return wait + 1.0;
+}
+
+double fifo_saturation_limit() noexcept { return 2.0 - std::sqrt(2.0); }
+
+double fifo_saturation(std::size_t ports) noexcept {
+    // Exact values from Karol/Hluchyj/Morgan (Table I) for small n; the
+    // sequence decreases monotonically to 2 - sqrt(2).
+    switch (ports) {
+        case 0:
+        case 1:
+            return 1.0;
+        case 2:
+            return 0.75;
+        case 3:
+            return 0.6825;
+        case 4:
+            return 0.6553;
+        case 5:
+            return 0.6399;
+        case 6:
+            return 0.6302;
+        case 7:
+            return 0.6234;
+        case 8:
+            return 0.6184;
+        default:
+            return fifo_saturation_limit();
+    }
+}
+
+double pim_expected_iterations(std::size_t ports) {
+    if (ports == 0) throw std::invalid_argument("ports must be positive");
+    return std::log2(static_cast<double>(ports)) + 4.0 / 3.0;
+}
+
+double lcf_rr_bandwidth_floor(std::size_t ports) {
+    if (ports == 0) throw std::invalid_argument("ports must be positive");
+    const auto n = static_cast<double>(ports);
+    return 1.0 / (n * n);
+}
+
+}  // namespace lcf::analysis

@@ -1,0 +1,42 @@
+#pragma once
+// Closed-form queueing-theory reference results for the switch
+// architectures the paper simulates. The test suite pins the simulator
+// against these curves, so a regression in queue plumbing or delay
+// accounting shows up as divergence from theory, not just as a changed
+// number.
+
+#include <cstddef>
+
+namespace lcf::analysis {
+
+/// Mean queuing delay (in slots, including the 1-slot transmission) of
+/// one output of an ideal output-buffered n-port switch under i.i.d.
+/// Bernoulli arrivals with uniform destinations at per-input load rho.
+///
+/// The output queue is discrete-time with binomial(n, rho/n) arrivals
+/// and unit service; its mean wait is the classic
+///     W = (n-1)/n * rho / (2 (1 - rho))
+/// (Karol, Hluchyj & Morgan 1987, eq. for output queuing), to which we
+/// add 1 slot of transmission time to match SimResult::mean_delay's
+/// generation-to-link-crossing definition.
+[[nodiscard]] double outbuf_mean_delay(std::size_t ports, double load);
+
+/// Saturation throughput of a FIFO input-buffered switch (head-of-line
+/// blocking) as n -> infinity: 2 - sqrt(2) ~= 0.586 (Karol et al.).
+[[nodiscard]] double fifo_saturation_limit() noexcept;
+
+/// Saturation throughput of a FIFO input-buffered switch with n ports
+/// (exact small-n values from Karol et al.'s Markov analysis for
+/// n <= 8, asymptote beyond).
+[[nodiscard]] double fifo_saturation(std::size_t ports) noexcept;
+
+/// Expected iterations for PIM to converge on an n-port switch:
+/// O(log2 n) + O(1) (Anderson et al. 1993 prove E[iters] < log2 n + 4/3).
+[[nodiscard]] double pim_expected_iterations(std::size_t ports);
+
+/// The paper's fairness floor: fraction of one output's bandwidth
+/// guaranteed to any persistent request under the Figure 2 round-robin
+/// diagonal — 1/n².
+[[nodiscard]] double lcf_rr_bandwidth_floor(std::size_t ports);
+
+}  // namespace lcf::analysis

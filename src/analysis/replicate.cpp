@@ -1,0 +1,74 @@
+#include "analysis/replicate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lcf::analysis {
+
+double t_critical_95(std::size_t dof) {
+    // Two-sided 95 % quantiles of Student's t.
+    static constexpr double kTable[] = {
+        0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (dof == 0) {
+        throw std::invalid_argument("t critical value needs dof >= 1");
+    }
+    if (dof <= 30) return kTable[dof];
+    return 1.960;
+}
+
+namespace {
+
+Estimate summarise(const util::RunningStat& stat) {
+    Estimate e;
+    e.replications = stat.count();
+    e.mean = stat.mean();
+    if (stat.count() > 1) {
+        const double se =
+            stat.stddev() / std::sqrt(static_cast<double>(stat.count()));
+        e.half_width = t_critical_95(stat.count() - 1) * se;
+    }
+    return e;
+}
+
+}  // namespace
+
+ReplicatedResult replicate(std::string_view config_name,
+                           const sim::SimConfig& config,
+                           std::string_view traffic_name, double load,
+                           std::size_t replications,
+                           const sched::SchedulerConfig& sched_config,
+                           std::size_t threads) {
+    if (replications == 0) {
+        throw std::invalid_argument("replications must be positive");
+    }
+    ReplicatedResult result;
+    result.runs.resize(replications);
+
+    util::ThreadPool pool(threads);
+    pool.parallel_for(0, replications, [&](std::size_t k) {
+        sim::SimConfig run_config = config;
+        run_config.seed = util::derive_seed(config.seed, 1000 + k);
+        sched::SchedulerConfig run_sched = sched_config;
+        run_sched.seed = util::derive_seed(sched_config.seed, 2000 + k);
+        result.runs[k] = sim::run_named(config_name, run_config, traffic_name,
+                                        load, run_sched);
+    });
+
+    util::RunningStat delay, throughput;
+    for (const auto& r : result.runs) {
+        delay.add(r.mean_delay);
+        throughput.add(r.throughput);
+    }
+    result.mean_delay = summarise(delay);
+    result.throughput = summarise(throughput);
+    return result;
+}
+
+}  // namespace lcf::analysis

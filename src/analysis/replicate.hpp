@@ -1,0 +1,53 @@
+#pragma once
+// Replicated simulation runs with confidence intervals: the statistical
+// layer the benchmark harnesses use when a single seeded run is not
+// enough (crossover localisation, small effect sizes).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/runner.hpp"
+
+namespace lcf::analysis {
+
+/// Point estimate with a symmetric confidence half-width.
+struct Estimate {
+    double mean = 0.0;
+    double half_width = 0.0;  ///< 95 % CI is mean ± half_width
+    std::size_t replications = 0;
+
+    [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+    [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+    /// True when the two intervals do not overlap (a conservative
+    /// significance check for orderings).
+    [[nodiscard]] bool clearly_below(const Estimate& other) const noexcept {
+        return upper() < other.lower();
+    }
+};
+
+/// Aggregated replicated-run results.
+struct ReplicatedResult {
+    Estimate mean_delay;
+    Estimate throughput;
+    std::vector<sim::SimResult> runs;  ///< per-seed raw results
+};
+
+/// Run `replications` copies of the given Figure 12 configuration with
+/// seeds derived from config.seed, in parallel, and summarise delay and
+/// throughput with 95 % confidence intervals (Student t for small
+/// sample counts).
+ReplicatedResult replicate(std::string_view config_name,
+                           const sim::SimConfig& config,
+                           std::string_view traffic_name, double load,
+                           std::size_t replications,
+                           const sched::SchedulerConfig& sched_config = {},
+                           std::size_t threads = 0);
+
+/// Two-sided 95 % Student-t critical value for `dof` degrees of freedom
+/// (exact table through 30, normal approximation beyond).
+[[nodiscard]] double t_critical_95(std::size_t dof);
+
+}  // namespace lcf::analysis

@@ -1,0 +1,294 @@
+#include "clint/bulk_channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcf::clint {
+
+BulkChannelSim::BulkChannelSim(
+    const BulkChannelConfig& config,
+    std::unique_ptr<traffic::TrafficGenerator> traffic)
+    : config_(config),
+      traffic_(std::move(traffic)),
+      scheduler_(core::LcfCentralOptions{.variant = core::RrVariant::kInterleaved}),
+      data_rng_(util::derive_seed(config.seed, 0xDA7A)) {
+    if (config_.hosts == 0 || config_.hosts > 16) {
+        throw std::invalid_argument("bulk channel supports 1..16 hosts");
+    }
+    if (traffic_ == nullptr) {
+        throw std::invalid_argument("traffic generator required");
+    }
+    traffic_->reset(config_.hosts, config_.hosts, config_.seed);
+    scheduler_.reset(config_.hosts, config_.hosts);
+    hosts_.resize(config_.hosts);
+    for (std::size_t h = 0; h < config_.hosts; ++h) {
+        hosts_[h].voqs = sim::VoqBank(config_.hosts, config_.voq_capacity);
+        hosts_[h].committed.assign(config_.hosts, 0);
+        uplinks_.emplace_back(config_.bit_error_rate,
+                              util::derive_seed(config_.seed, 100 + h));
+        downlinks_.emplace_back(config_.bit_error_rate,
+                                util::derive_seed(config_.seed, 200 + h));
+    }
+    switch_crc_flag_.assign(config_.hosts, false);
+    // Independent-bit corruption over the nominal payload / ack sizes.
+    p_data_corrupt_ =
+        1.0 - std::pow(1.0 - config_.bit_error_rate,
+                       static_cast<double>(config_.payload_bits));
+    p_ack_corrupt_ = 1.0 - std::pow(1.0 - config_.bit_error_rate, 64.0);
+}
+
+void BulkChannelSim::enqueue_multicast(std::size_t host,
+                                       std::uint16_t target_mask) {
+    hosts_[host].multicast.push_back(
+        MulticastEntry{target_mask, next_packet_id_++, slot_});
+}
+
+void BulkChannelSim::set_bulk_enable_report(std::size_t host,
+                                            std::uint16_t ben_mask) {
+    hosts_[host].ben_report = ben_mask;
+}
+
+std::uint16_t BulkChannelSim::request_mask(const Host& h) const {
+    // A VOQ contributes a request only for packets not already committed
+    // to an in-flight grant; lost transfers waiting in the retransmit
+    // queue re-request their target.
+    std::uint16_t mask = 0;
+    for (std::size_t j = 0; j < config_.hosts; ++j) {
+        if (h.voqs.queue(j).size() > h.committed[j]) {
+            mask = static_cast<std::uint16_t>(mask | (1U << j));
+        }
+    }
+    for (const auto& p : h.retransmit) {
+        mask = static_cast<std::uint16_t>(mask | (1U << p.destination));
+    }
+    return mask;
+}
+
+void BulkChannelSim::step_arrivals() {
+    for (std::size_t h = 0; h < config_.hosts; ++h) {
+        const std::int32_t dst = traffic_->arrival(h, slot_);
+        if (dst == traffic::kNoArrival) continue;
+        ++stats_.generated;
+        const sim::Packet p{next_packet_id_++, static_cast<std::uint32_t>(h),
+                            static_cast<std::uint32_t>(dst), slot_};
+        if (!hosts_[h].voqs.push(p)) ++stats_.dropped_voq;
+    }
+}
+
+void BulkChannelSim::step_timeouts() {
+    for (auto& h : hosts_) {
+        for (std::size_t k = 0; k < h.outstanding.size();) {
+            if (slot_ - h.outstanding[k].sent_slot >= config_.ack_timeout) {
+                h.retransmit.push_back(h.outstanding[k].packet);
+                ++stats_.retransmissions;
+                h.outstanding.erase(h.outstanding.begin() +
+                                    static_cast<std::ptrdiff_t>(k));
+            } else {
+                ++k;
+            }
+        }
+    }
+}
+
+void BulkChannelSim::deliver(const sim::Packet& p, std::size_t target) {
+    (void)target;
+    if (delivered_ids_.insert(p.id).second) {
+        ++stats_.delivered;
+        const std::uint64_t delay = slot_ + 1 - p.generated_slot;
+        if (p.generated_slot >= config_.warmup_slots) {
+            delay_.add(static_cast<double>(delay));
+        }
+        if (slot_ >= config_.warmup_slots) ++delivered_after_warmup_;
+    } else {
+        ++stats_.duplicates;
+    }
+}
+
+void BulkChannelSim::step_transfers() {
+    // Transfer + acknowledge stages for the grants issued last slot.
+    for (std::size_t hi = 0; hi < config_.hosts; ++hi) {
+        Host& h = hosts_[hi];
+
+        // Multicast fan-out admitted by the precalculated stage.
+        if (h.pending_multicast) {
+            assert(!h.multicast.empty());
+            const MulticastEntry mc = h.multicast.front();
+            h.multicast.pop_front();
+            for (const std::size_t target : h.pending_fanout) {
+                if (!data_rng_.next_bool(p_data_corrupt_)) {
+                    ++stats_.multicast_copies;
+                } else {
+                    ++stats_.data_corruptions;
+                }
+                (void)target;
+            }
+            (void)mc;
+            h.pending_multicast = false;
+            h.pending_fanout.clear();
+        }
+
+        if (!h.pending_grant) continue;
+        const std::size_t target = *h.pending_grant;
+        h.pending_grant.reset();
+        assert(h.committed[target] > 0);
+        --h.committed[target];
+
+        // Pick the packet for this target: lost transfers first, then
+        // the VOQ head.
+        sim::Packet packet;
+        const auto rit = std::find_if(
+            h.retransmit.begin(), h.retransmit.end(),
+            [&](const sim::Packet& p) { return p.destination == target; });
+        if (rit != h.retransmit.end()) {
+            packet = *rit;
+            h.retransmit.erase(rit);
+        } else {
+            auto& q = h.voqs.queue(target);
+            assert(!q.empty());
+            packet = q.pop();
+        }
+
+        // Bulk data packet across the fabric.
+        if (data_rng_.next_bool(p_data_corrupt_)) {
+            ++stats_.data_corruptions;
+            // No ack will come; the timeout path retransmits.
+            h.outstanding.push_back(OutstandingTransfer{packet, slot_});
+            continue;
+        }
+        deliver(packet, target);
+
+        // Acknowledgment back over the quick channel.
+        last_acks_.emplace_back(target, hi);
+        if (data_rng_.next_bool(p_ack_corrupt_)) {
+            ++stats_.ack_losses;
+            h.outstanding.push_back(OutstandingTransfer{packet, slot_});
+        }
+        // Ack received: transfer complete, nothing outstanding.
+    }
+}
+
+void BulkChannelSim::step_scheduling() {
+    const std::size_t n = config_.hosts;
+    sched::RequestMatrix requests(n);
+    core::PrecalcSchedule precalc(n);
+    std::vector<bool> config_ok(n, false);
+
+    std::vector<std::optional<ConfigPacket>> decoded_cfgs(n);
+    std::uint16_t ben_consensus = 0xFFFF;
+    for (std::size_t h = 0; h < n; ++h) {
+        ConfigPacket cfg;
+        cfg.req = request_mask(hosts_[h]);
+        cfg.pre = hosts_[h].multicast.empty()
+                      ? std::uint16_t{0}
+                      : hosts_[h].multicast.front().target_mask;
+        cfg.ben = hosts_[h].ben_report;
+        cfg.qen = 0xFFFF;
+        const auto wire = uplinks_[h].transmit(cfg.encode());
+        decoded_cfgs[h] = ConfigPacket::decode(wire);
+        if (!decoded_cfgs[h]) {
+            ++stats_.config_crc_errors;
+            switch_crc_flag_[h] = true;
+            continue;  // switch treats this host as requesting nothing
+        }
+        ben_consensus = static_cast<std::uint16_t>(ben_consensus &
+                                                   decoded_cfgs[h]->ben);
+    }
+    // Fault isolation (§4.1): an initiator any host reported disabled
+    // is fenced — its requests and precalculated claims are ignored.
+    fenced_mask_ = static_cast<std::uint16_t>(~ben_consensus);
+    for (std::size_t h = 0; h < n; ++h) {
+        if (!decoded_cfgs[h]) continue;
+        if (fenced_mask_ & (1U << h)) continue;
+        config_ok[h] = true;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (decoded_cfgs[h]->req & (1U << j)) requests.set(h, j);
+            if (decoded_cfgs[h]->pre & (1U << j)) precalc.claim(h, j);
+        }
+    }
+
+    core::MulticastResult schedule;
+    scheduler_.schedule_with_precalc(requests, precalc, schedule);
+
+    for (std::size_t h = 0; h < n; ++h) {
+        GrantPacket gnt;
+        gnt.node_id = static_cast<std::uint8_t>(h);
+        const std::int32_t target = schedule.unicast.output_of(h);
+        gnt.gnt_val = target != sched::kUnmatched;
+        gnt.gnt = gnt.gnt_val ? static_cast<std::uint8_t>(target) : 0;
+        gnt.crc_err = switch_crc_flag_[h];
+        switch_crc_flag_[h] = false;
+
+        const auto wire = downlinks_[h].transmit(gnt.encode());
+        const auto decoded = GrantPacket::decode(wire);
+        if (!decoded) {
+            ++stats_.grant_crc_errors;
+            continue;  // host misses its grant; the slot goes unused
+        }
+        if (decoded->gnt_val) {
+            hosts_[h].pending_grant = decoded->gnt;
+            ++hosts_[h].committed[decoded->gnt];
+        }
+        // Precalculated fan-out: targets whose fanout names this host
+        // but that are not part of the unicast matching.
+        if (config_ok[h] && !hosts_[h].multicast.empty()) {
+            std::vector<std::size_t> fan;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (schedule.fanout[j] == static_cast<std::int32_t>(h) &&
+                    schedule.unicast.input_of(j) == sched::kUnmatched) {
+                    fan.push_back(j);
+                }
+            }
+            if (!fan.empty()) {
+                hosts_[h].pending_multicast = true;
+                hosts_[h].pending_fanout = std::move(fan);
+            }
+        }
+    }
+}
+
+void BulkChannelSim::step() {
+    last_acks_.clear();
+    step_arrivals();
+    step_timeouts();
+    step_transfers();
+    step_scheduling();
+    ++slot_;
+}
+
+std::size_t BulkChannelSim::buffered_total() const noexcept {
+    std::size_t total = 0;
+    for (const Host& h : hosts_) {
+        total += h.voqs.total_buffered();
+        total += h.retransmit.size();
+        total += h.outstanding.size();
+        total += h.multicast.size();
+        if (h.pending_grant) {
+            // The granted packet is still inside a VOQ or the
+            // retransmit queue, so it is already counted.
+        }
+    }
+    return total;
+}
+
+BulkChannelResult BulkChannelSim::run() {
+    while (slot_ < config_.slots) step();
+    return result();
+}
+
+BulkChannelResult BulkChannelSim::result() const {
+    BulkChannelResult r = stats_;
+    r.mean_delay = delay_.mean();
+    r.max_delay = delay_.count() ? delay_.max() : 0.0;
+    const std::uint64_t measured_slots =
+        slot_ > config_.warmup_slots ? slot_ - config_.warmup_slots : 0;
+    r.goodput = measured_slots == 0
+                    ? 0.0
+                    : static_cast<double>(delivered_after_warmup_) /
+                          (static_cast<double>(measured_slots) *
+                           static_cast<double>(config_.hosts));
+    return r;
+}
+
+}  // namespace lcf::clint

@@ -1,0 +1,166 @@
+#pragma once
+// The Clint bulk channel (§4): a 16-port crossbar scheduled by the
+// central LCF scheduler through a three-stage pipeline —
+//
+//   slot c    scheduling    hosts send configuration packets, the switch
+//                           computes the LCF schedule and returns grants
+//   slot c+1  transfer      granted hosts forward one bulk packet each
+//   slot c+2  acknowledge   targets return acknowledgment packets
+//
+// The pipeline is fully overlapped: a new schedule is produced every
+// slot. All control packets are CRC-protected and travel over
+// bit-error-injecting links; the protocol recovers through the
+// CRCErr/linkErr grant flags, acknowledgment timeouts, retransmission,
+// and duplicate suppression at the targets — all of which this model
+// implements and its statistics expose.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "clint/link.hpp"
+#include "clint/packets.hpp"
+#include "core/lcf_central.hpp"
+#include "sim/voq.hpp"
+#include "traffic/traffic.hpp"
+#include "util/stats.hpp"
+
+namespace lcf::clint {
+
+/// Bulk-channel simulation parameters.
+struct BulkChannelConfig {
+    std::size_t hosts = 16;  ///< up to 16 (the packet formats carry 16 bits)
+    std::size_t voq_capacity = 256;
+    std::uint64_t slots = 10000;
+    std::uint64_t warmup_slots = 1000;
+    std::uint64_t seed = 1;
+    double bit_error_rate = 0.0;  ///< per transmitted bit, on every link
+    /// Nominal bulk payload size; data-packet corruption probability is
+    /// 1-(1-ber)^bits for this many bits (control packets are modelled
+    /// bit-exactly through their real encodings).
+    std::size_t payload_bits = 16384;
+    std::uint64_t ack_timeout = 4;  ///< slots before an unacked transfer retries
+};
+
+/// Measurements of one bulk-channel run.
+struct BulkChannelResult {
+    double mean_delay = 0.0;  ///< generation -> delivery, slots (post warm-up)
+    double max_delay = 0.0;
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;       ///< unique packets that reached a target
+    std::uint64_t dropped_voq = 0;     ///< arrivals lost to full VOQs
+    std::uint64_t config_crc_errors = 0;  ///< configs the switch rejected
+    std::uint64_t grant_crc_errors = 0;   ///< grants the hosts rejected
+    std::uint64_t data_corruptions = 0;   ///< bulk packets lost in flight
+    std::uint64_t ack_losses = 0;         ///< acknowledgments lost in flight
+    std::uint64_t retransmissions = 0;
+    std::uint64_t duplicates = 0;  ///< retransmits of already-delivered packets
+    std::uint64_t multicast_copies = 0;  ///< per-target precalc deliveries
+    double goodput = 0.0;  ///< unique deliveries per host per post-warm-up slot
+};
+
+/// Discrete-event simulation of the bulk channel.
+class BulkChannelSim {
+public:
+    BulkChannelSim(const BulkChannelConfig& config,
+                   std::unique_ptr<traffic::TrafficGenerator> traffic);
+
+    /// Queue a multicast packet at `host` destined for every target in
+    /// `target_mask`; it will be advertised through the configuration
+    /// packet's `pre` field and admitted by the scheduler's
+    /// precalculated stage (§4.3).
+    void enqueue_multicast(std::size_t host, std::uint16_t target_mask);
+
+    /// Set the bulk-enable mask `host` reports in its configuration
+    /// packets (the §4.1 `ben` field — "hosts use these fields to
+    /// disable malfunctioning hosts"). The switch ANDs the masks of all
+    /// hosts whose configuration decoded correctly; an initiator whose
+    /// bit is cleared anywhere is fenced off: its requests and
+    /// precalculated claims are ignored until re-enabled. Defaults to
+    /// all-enabled.
+    void set_bulk_enable_report(std::size_t host, std::uint16_t ben_mask);
+
+    /// Initiators currently fenced off by the ben consensus (as of the
+    /// last scheduling stage).
+    [[nodiscard]] std::uint16_t fenced_mask() const noexcept {
+        return fenced_mask_;
+    }
+
+    /// Advance one slot.
+    void step();
+    /// Run the configured number of slots.
+    BulkChannelResult run();
+
+    [[nodiscard]] std::uint64_t current_slot() const noexcept { return slot_; }
+    [[nodiscard]] BulkChannelResult result() const;
+
+    /// Packets currently buffered anywhere in the channel: VOQs,
+    /// retransmit queues, unacknowledged transfers, and queued
+    /// multicasts. Supports conservation checks in the test suite.
+    [[nodiscard]] std::size_t buffered_total() const noexcept;
+
+    /// Acknowledgment packets emitted during the most recent step(), as
+    /// (acking target, acked initiator) pairs. §4.1 routes these over
+    /// the quick channel; the integrated cluster simulation injects
+    /// them there so they contend with quick data traffic.
+    [[nodiscard]] const std::vector<std::pair<std::size_t, std::size_t>>&
+    last_acks() const noexcept {
+        return last_acks_;
+    }
+
+private:
+    struct OutstandingTransfer {
+        sim::Packet packet;
+        std::uint64_t sent_slot = 0;
+    };
+    struct MulticastEntry {
+        std::uint16_t target_mask = 0;
+        std::uint64_t id = 0;
+        std::uint64_t generated_slot = 0;
+    };
+    struct Host {
+        sim::VoqBank voqs;
+        std::deque<sim::Packet> retransmit;   // lost transfers awaiting regrant
+        std::vector<OutstandingTransfer> outstanding;  // awaiting ack
+        std::vector<std::size_t> committed;   // grants not yet transferred, per target
+        std::deque<MulticastEntry> multicast;
+        std::optional<std::uint8_t> pending_grant;  // target granted last slot
+        bool pending_multicast = false;  // last grant cycle admitted precalc
+        std::vector<std::size_t> pending_fanout;    // admitted precalc targets
+        std::uint16_t ben_report = 0xFFFF;  // bulk-enable mask this host sends
+    };
+
+    [[nodiscard]] std::uint16_t request_mask(const Host& h) const;
+    void step_arrivals();
+    void step_timeouts();
+    void step_transfers();
+    void step_scheduling();
+    void deliver(const sim::Packet& p, std::size_t target);
+
+    BulkChannelConfig config_;
+    std::unique_ptr<traffic::TrafficGenerator> traffic_;
+    core::LcfCentralScheduler scheduler_;
+    std::vector<Host> hosts_;
+    std::vector<ErrorLink> uplinks_;    // host -> switch (config packets)
+    std::vector<ErrorLink> downlinks_;  // switch -> host (grant packets)
+    util::Xoshiro256 data_rng_;         // payload/ack corruption draws
+    double p_data_corrupt_ = 0.0;
+    double p_ack_corrupt_ = 0.0;
+
+    std::unordered_set<std::uint64_t> delivered_ids_;
+    std::vector<std::pair<std::size_t, std::size_t>> last_acks_;
+    util::RunningStat delay_;
+    std::vector<bool> switch_crc_flag_;  // CRCErr to report per host
+
+    std::uint64_t slot_ = 0;
+    std::uint64_t next_packet_id_ = 0;
+    std::uint16_t fenced_mask_ = 0;
+    BulkChannelResult stats_;
+    std::uint64_t delivered_after_warmup_ = 0;
+};
+
+}  // namespace lcf::clint

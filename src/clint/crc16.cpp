@@ -1,0 +1,43 @@
+#include "clint/crc16.hpp"
+
+#include <array>
+
+namespace lcf::clint {
+
+namespace {
+
+constexpr std::uint16_t kPoly = 0x1021;
+constexpr std::uint16_t kInit = 0xFFFF;
+
+constexpr std::array<std::uint16_t, 256> make_table() {
+    std::array<std::uint16_t, 256> table{};
+    for (std::uint32_t byte = 0; byte < 256; ++byte) {
+        std::uint16_t crc = static_cast<std::uint16_t>(byte << 8);
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 0x8000)
+                      ? static_cast<std::uint16_t>((crc << 1) ^ kPoly)
+                      : static_cast<std::uint16_t>(crc << 1);
+        }
+        table[byte] = crc;
+    }
+    return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint16_t crc16_update(std::uint16_t crc,
+                           std::span<const std::uint8_t> data) noexcept {
+    for (const std::uint8_t b : data) {
+        crc = static_cast<std::uint16_t>((crc << 8) ^
+                                         kTable[((crc >> 8) ^ b) & 0xFF]);
+    }
+    return crc;
+}
+
+std::uint16_t crc16(std::span<const std::uint8_t> data) noexcept {
+    return crc16_update(kInit, data);
+}
+
+}  // namespace lcf::clint

@@ -1,0 +1,19 @@
+#pragma once
+// CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF) — the checksum
+// protecting Clint's configuration and grant packets (§4.1).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lcf::clint {
+
+/// CRC over `data`; table-driven, one table shared process-wide.
+[[nodiscard]] std::uint16_t crc16(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental variant: continue a CRC with more data. Start with
+/// crc = 0xFFFF.
+[[nodiscard]] std::uint16_t crc16_update(std::uint16_t crc,
+                                         std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace lcf::clint

@@ -1,0 +1,32 @@
+#include "clint/link.hpp"
+
+#include <stdexcept>
+
+namespace lcf::clint {
+
+ErrorLink::ErrorLink(double bit_error_rate, std::uint64_t seed)
+    : ber_(bit_error_rate), rng_(seed) {
+    if (bit_error_rate < 0.0 || bit_error_rate > 1.0) {
+        throw std::invalid_argument("bit_error_rate must be in [0, 1]");
+    }
+}
+
+std::vector<std::uint8_t> ErrorLink::transmit(
+    std::span<const std::uint8_t> wire) {
+    std::vector<std::uint8_t> out(wire.begin(), wire.end());
+    if (ber_ <= 0.0) return out;
+    bool corrupted = false;
+    for (auto& byte : out) {
+        for (int bit = 0; bit < 8; ++bit) {
+            if (rng_.next_bool(ber_)) {
+                byte = static_cast<std::uint8_t>(byte ^ (1U << bit));
+                ++flipped_bits_;
+                corrupted = true;
+            }
+        }
+    }
+    if (corrupted) ++corrupted_;
+    return out;
+}
+
+}  // namespace lcf::clint

@@ -1,0 +1,42 @@
+#pragma once
+// Serial link with independent random bit errors. Clint's protocol
+// detects corruption through per-packet CRCs and reports it via the
+// linkErr/CRCErr grant-packet flags; this model provides the faults.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lcf::clint {
+
+/// A unidirectional link that flips each transmitted bit independently
+/// with probability `bit_error_rate`.
+class ErrorLink {
+public:
+    ErrorLink(double bit_error_rate, std::uint64_t seed);
+
+    /// Transmit a packet; the returned buffer may differ from the input
+    /// in corrupted bits. Increments error statistics when it does.
+    [[nodiscard]] std::vector<std::uint8_t> transmit(
+        std::span<const std::uint8_t> wire);
+
+    /// Packets that suffered at least one bit flip so far.
+    [[nodiscard]] std::uint64_t corrupted_packets() const noexcept {
+        return corrupted_;
+    }
+    /// Total bit flips injected so far.
+    [[nodiscard]] std::uint64_t flipped_bits() const noexcept {
+        return flipped_bits_;
+    }
+    [[nodiscard]] double bit_error_rate() const noexcept { return ber_; }
+
+private:
+    double ber_;
+    util::Xoshiro256 rng_;
+    std::uint64_t corrupted_ = 0;
+    std::uint64_t flipped_bits_ = 0;
+};
+
+}  // namespace lcf::clint

@@ -1,0 +1,86 @@
+#include "clint/packets.hpp"
+
+#include "clint/crc16.hpp"
+
+namespace lcf::clint {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+    return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+void append_crc(std::vector<std::uint8_t>& out) {
+    const std::uint16_t crc = crc16({out.data(), out.size()});
+    put_u16(out, crc);
+}
+
+bool crc_ok(std::span<const std::uint8_t> wire) {
+    const std::size_t body = wire.size() - 2;
+    return crc16(wire.subspan(0, body)) == get_u16(wire, body);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ConfigPacket::encode() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(kWireSize);
+    out.push_back(static_cast<std::uint8_t>(PacketType::kConfig));
+    put_u16(out, req);
+    put_u16(out, pre);
+    put_u16(out, ben);
+    put_u16(out, qen);
+    append_crc(out);
+    return out;
+}
+
+std::optional<ConfigPacket> ConfigPacket::decode(
+    std::span<const std::uint8_t> wire) {
+    if (wire.size() != kWireSize) return std::nullopt;
+    if (wire[0] != static_cast<std::uint8_t>(PacketType::kConfig)) {
+        return std::nullopt;
+    }
+    if (!crc_ok(wire)) return std::nullopt;
+    ConfigPacket p;
+    p.req = get_u16(wire, 1);
+    p.pre = get_u16(wire, 3);
+    p.ben = get_u16(wire, 5);
+    p.qen = get_u16(wire, 7);
+    return p;
+}
+
+std::vector<std::uint8_t> GrantPacket::encode() const {
+    std::vector<std::uint8_t> out;
+    out.reserve(kWireSize);
+    out.push_back(static_cast<std::uint8_t>(PacketType::kGrant));
+    out.push_back(static_cast<std::uint8_t>(((node_id & 0x0F) << 4) |
+                                            (gnt & 0x0F)));
+    out.push_back(static_cast<std::uint8_t>((gnt_val ? 0x4 : 0) |
+                                            (link_err ? 0x2 : 0) |
+                                            (crc_err ? 0x1 : 0)));
+    append_crc(out);
+    return out;
+}
+
+std::optional<GrantPacket> GrantPacket::decode(
+    std::span<const std::uint8_t> wire) {
+    if (wire.size() != kWireSize) return std::nullopt;
+    if (wire[0] != static_cast<std::uint8_t>(PacketType::kGrant)) {
+        return std::nullopt;
+    }
+    if (!crc_ok(wire)) return std::nullopt;
+    GrantPacket p;
+    p.node_id = static_cast<std::uint8_t>(wire[1] >> 4);
+    p.gnt = static_cast<std::uint8_t>(wire[1] & 0x0F);
+    p.gnt_val = (wire[2] & 0x4) != 0;
+    p.link_err = (wire[2] & 0x2) != 0;
+    p.crc_err = (wire[2] & 0x1) != 0;
+    return p;
+}
+
+}  // namespace lcf::clint

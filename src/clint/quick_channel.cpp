@@ -1,0 +1,176 @@
+#include "clint/quick_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcf::clint {
+
+QuickChannelSim::QuickChannelSim(
+    const QuickChannelConfig& config,
+    std::unique_ptr<traffic::TrafficGenerator> traffic)
+    : config_(config),
+      traffic_(std::move(traffic)),
+      rng_(util::derive_seed(config.seed, 0x41CC)) {
+    if (config_.hosts == 0) {
+        throw std::invalid_argument("hosts must be positive");
+    }
+    if (traffic_ == nullptr) {
+        throw std::invalid_argument("traffic generator required");
+    }
+    traffic_->reset(config_.hosts, config_.hosts, config_.seed);
+    hosts_.resize(config_.hosts);
+    for (auto& h : hosts_) {
+        h.queue = sim::PacketQueue(config_.queue_capacity);
+    }
+    target_priority_.assign(config_.hosts, 0);
+    p_data_corrupt_ =
+        1.0 - std::pow(1.0 - config_.bit_error_rate,
+                       static_cast<double>(config_.payload_bits));
+    p_ack_corrupt_ = 1.0 - std::pow(1.0 - config_.bit_error_rate, 64.0);
+}
+
+void QuickChannelSim::step() {
+    // Arrivals into the send queues.
+    for (std::size_t h = 0; h < config_.hosts; ++h) {
+        const std::int32_t dst = traffic_->arrival(h, slot_);
+        if (dst == traffic::kNoArrival) continue;
+        ++stats_.generated;
+        const sim::Packet p{next_packet_id_++, static_cast<std::uint32_t>(h),
+                            static_cast<std::uint32_t>(dst), slot_};
+        delivered_flag_.push_back(false);
+        if (!hosts_[h].queue.push(p)) ++stats_.dropped_queue;
+    }
+
+    // Each host decides what to transmit this slot: a pending control
+    // packet (bulk acknowledgment — highest priority, §4.1), a retry of
+    // the in-flight data packet (on timeout), or a fresh head-of-queue
+    // data packet.
+    std::vector<std::int32_t> sender_of_target(config_.hosts, -1);
+    std::vector<bool> transmitting(config_.hosts, false);
+    for (std::size_t h = 0; h < config_.hosts; ++h) {
+        Host& host = hosts_[h];
+        host.sending_control = false;
+        if (!host.control.empty()) {
+            host.sending_control = true;
+            host.control_target = host.control.front();
+            host.control.pop_front();
+            ++control_sent_;
+            // Did the control packet displace a data opportunity?
+            const bool data_ready =
+                (host.inflight && !host.inflight->awaiting_ack &&
+                 host.inflight->retries < config_.max_retries) ||
+                (!host.inflight && !host.queue.empty());
+            if (data_ready) ++control_preemptions_;
+            continue;
+        }
+        if (host.inflight) {
+            Outstanding& o = *host.inflight;
+            if (o.awaiting_ack) continue;  // still inside the timeout window
+            if (o.retries >= config_.max_retries) {
+                ++stats_.abandoned;
+                host.inflight.reset();
+            } else {
+                ++o.retries;
+                ++stats_.retransmissions;
+                o.sent_slot = slot_;
+                o.awaiting_ack = true;
+                transmitting[h] = true;
+            }
+        }
+        if (!host.inflight && !host.queue.empty()) {
+            host.inflight = Outstanding{host.queue.pop(), slot_, 0, true};
+            transmitting[h] = true;
+        }
+    }
+
+    // Switch: one winner per target, rotating priority among everything
+    // heading there (data and control alike); losers dropped.
+    const auto destination_of = [&](std::size_t h) -> std::int32_t {
+        if (hosts_[h].sending_control) {
+            return static_cast<std::int32_t>(hosts_[h].control_target);
+        }
+        if (transmitting[h]) {
+            return static_cast<std::int32_t>(
+                hosts_[h].inflight->packet.destination);
+        }
+        return -1;
+    };
+    for (std::size_t j = 0; j < config_.hosts; ++j) {
+        std::int32_t winner = -1;
+        for (std::size_t k = 0; k < config_.hosts; ++k) {
+            const std::size_t h = (target_priority_[j] + k) % config_.hosts;
+            if (destination_of(h) == static_cast<std::int32_t>(j)) {
+                if (winner == -1) {
+                    winner = static_cast<std::int32_t>(h);
+                } else {
+                    ++stats_.collisions;
+                }
+            }
+        }
+        sender_of_target[j] = winner;
+        if (winner != -1) {
+            target_priority_[j] = (static_cast<std::size_t>(winner) + 1) %
+                                  config_.hosts;
+        }
+    }
+
+    // Delivery and acknowledgment for the winners.
+    for (std::size_t j = 0; j < config_.hosts; ++j) {
+        if (sender_of_target[j] == -1) continue;
+        Host& host = hosts_[static_cast<std::size_t>(sender_of_target[j])];
+        if (host.sending_control) continue;  // fire-and-forget ack delivered
+        Outstanding& o = *host.inflight;
+        if (rng_.next_bool(p_data_corrupt_)) {
+            ++stats_.corruptions;  // lost in flight; timeout will retry
+            continue;
+        }
+        const sim::Packet& p = o.packet;
+        if (!delivered_flag_[p.id]) {
+            delivered_flag_[p.id] = true;
+            ++stats_.delivered;
+            if (p.generated_slot >= config_.warmup_slots) {
+                delay_.add(static_cast<double>(slot_ + 1 - p.generated_slot));
+            }
+        } else {
+            ++stats_.duplicates;
+        }
+        if (rng_.next_bool(p_ack_corrupt_)) {
+            ++stats_.corruptions;  // ack lost; sender will retransmit
+            continue;
+        }
+        host.inflight.reset();  // acknowledged
+    }
+
+    // Timeout bookkeeping: senders whose ack window expired become
+    // eligible to retransmit in a later slot.
+    for (auto& host : hosts_) {
+        if (host.inflight && host.inflight->awaiting_ack &&
+            slot_ + 1 - host.inflight->sent_slot >= config_.ack_timeout) {
+            host.inflight->awaiting_ack = false;
+        }
+    }
+
+    ++slot_;
+}
+
+void QuickChannelSim::inject_control(std::size_t host, std::size_t target) {
+    hosts_[host].control.push_back(target);
+}
+
+QuickChannelResult QuickChannelSim::run() {
+    while (slot_ < config_.slots) step();
+    return result();
+}
+
+QuickChannelResult QuickChannelSim::result() const {
+    QuickChannelResult r = stats_;
+    r.mean_delay = delay_.mean();
+    r.max_delay = delay_.count() ? delay_.max() : 0.0;
+    r.delivery_ratio =
+        r.generated == 0
+            ? 0.0
+            : static_cast<double>(r.delivered) / static_cast<double>(r.generated);
+    return r;
+}
+
+}  // namespace lcf::clint

@@ -1,0 +1,111 @@
+#pragma once
+// The Clint quick channel (§4): a best-effort, unscheduled crossbar
+// optimised for low latency. Hosts transmit whenever they have a packet;
+// when several packets head for the same target in one slot, one wins
+// (rotating priority) and the others are dropped in the switch. Senders
+// run stop-and-wait: a missing acknowledgment triggers retransmission
+// after a timeout, up to a retry limit.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/packet_queue.hpp"
+#include "traffic/traffic.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lcf::clint {
+
+/// Quick-channel simulation parameters.
+struct QuickChannelConfig {
+    std::size_t hosts = 16;
+    std::size_t queue_capacity = 64;  ///< per-host send queue
+    std::uint64_t slots = 10000;
+    std::uint64_t warmup_slots = 1000;
+    std::uint64_t seed = 2;
+    double bit_error_rate = 0.0;   ///< corrupts data and ack packets
+    std::size_t payload_bits = 1024;  ///< nominal quick packet size
+    std::uint64_t ack_timeout = 2;  ///< slots without ack before retry
+    std::size_t max_retries = 16;   ///< give up (and count) after this many
+};
+
+/// Measurements of one quick-channel run.
+struct QuickChannelResult {
+    double mean_delay = 0.0;  ///< generation -> first delivery, slots
+    double max_delay = 0.0;
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;      ///< unique packets delivered
+    std::uint64_t dropped_queue = 0;  ///< arrivals lost to full send queues
+    std::uint64_t collisions = 0;     ///< packets dropped in the switch
+    std::uint64_t corruptions = 0;    ///< packets lost to bit errors
+    std::uint64_t retransmissions = 0;
+    std::uint64_t abandoned = 0;  ///< packets given up after max_retries
+    std::uint64_t duplicates = 0; ///< re-deliveries after lost acks
+    double delivery_ratio = 0.0;  ///< delivered / generated
+};
+
+/// Discrete-event simulation of the quick channel.
+class QuickChannelSim {
+public:
+    QuickChannelSim(const QuickChannelConfig& config,
+                    std::unique_ptr<traffic::TrafficGenerator> traffic);
+
+    void step();
+    QuickChannelResult run();
+
+    [[nodiscard]] std::uint64_t current_slot() const noexcept { return slot_; }
+    [[nodiscard]] QuickChannelResult result() const;
+
+    /// Queue a control packet (a bulk acknowledgment, §4.1) at `host`
+    /// destined for `target`. Control packets preempt the host's data
+    /// transmission for the slot in which they are sent and are
+    /// fire-and-forget (losses are the bulk channel's timeout problem,
+    /// not retransmitted here).
+    void inject_control(std::size_t host, std::size_t target);
+
+    /// Control packets transmitted so far.
+    [[nodiscard]] std::uint64_t control_sent() const noexcept {
+        return control_sent_;
+    }
+    /// Data transmission opportunities lost to control preemption.
+    [[nodiscard]] std::uint64_t control_preemptions() const noexcept {
+        return control_preemptions_;
+    }
+
+private:
+    struct Outstanding {
+        sim::Packet packet;
+        std::uint64_t sent_slot = 0;
+        std::size_t retries = 0;
+        bool awaiting_ack = false;  ///< sent this slot, ack pending
+    };
+    struct Host {
+        sim::PacketQueue queue;
+        std::optional<Outstanding> inflight;  // stop-and-wait window of 1
+        std::deque<std::size_t> control;      // pending ack targets
+        bool sending_control = false;         // this slot's transmission
+        std::size_t control_target = 0;
+    };
+
+    QuickChannelConfig config_;
+    std::unique_ptr<traffic::TrafficGenerator> traffic_;
+    std::vector<Host> hosts_;
+    std::vector<std::size_t> target_priority_;  // rotating winner pointer
+    util::Xoshiro256 rng_;
+    double p_data_corrupt_ = 0.0;
+    double p_ack_corrupt_ = 0.0;
+
+    std::vector<bool> delivered_flag_;  // dedupe by packet id (dense)
+    util::RunningStat delay_;
+
+    std::uint64_t slot_ = 0;
+    std::uint64_t next_packet_id_ = 0;
+    std::uint64_t control_sent_ = 0;
+    std::uint64_t control_preemptions_ = 0;
+    QuickChannelResult stats_;
+};
+
+}  // namespace lcf::clint

@@ -1,0 +1,78 @@
+#include "core/factory.hpp"
+
+#include <stdexcept>
+
+#include "core/lcf_central.hpp"
+#include "core/lcf_dist.hpp"
+#include "sched/fifo_rr.hpp"
+#include "sched/ilqf.hpp"
+#include "sched/islip.hpp"
+#include "sched/maxsize.hpp"
+#include "sched/pim.hpp"
+#include "sched/rrm.hpp"
+#include "sched/wavefront.hpp"
+
+namespace lcf::core {
+
+std::unique_ptr<sched::Scheduler> make_scheduler(
+    std::string_view name, const sched::SchedulerConfig& config) {
+    if (name == "fifo") return std::make_unique<sched::FifoRrScheduler>();
+    if (name == "pim") return std::make_unique<sched::PimScheduler>(config);
+    if (name == "islip") return std::make_unique<sched::IslipScheduler>(config);
+    if (name == "wfront") return std::make_unique<sched::WavefrontScheduler>();
+    if (name == "ilqf") return std::make_unique<sched::IlqfScheduler>(config);
+    if (name == "rrm") return std::make_unique<sched::RrmScheduler>(config);
+    if (name == "maxsize") return std::make_unique<sched::MaxSizeScheduler>();
+    if (name == "lcf_central") {
+        return std::make_unique<LcfCentralScheduler>(
+            LcfCentralOptions{.variant = RrVariant::kNone});
+    }
+    if (name == "lcf_central_rr") {
+        return std::make_unique<LcfCentralScheduler>(
+            LcfCentralOptions{.variant = RrVariant::kInterleaved});
+    }
+    if (name == "lcf_central_rr_single") {
+        return std::make_unique<LcfCentralScheduler>(
+            LcfCentralOptions{.variant = RrVariant::kSingle});
+    }
+    if (name == "lcf_central_rr_first") {
+        return std::make_unique<LcfCentralScheduler>(
+            LcfCentralOptions{.variant = RrVariant::kDiagonalFirst});
+    }
+    if (name == "lcf_dist") {
+        return std::make_unique<LcfDistScheduler>(LcfDistOptions{
+            .iterations = config.iterations, .round_robin = false});
+    }
+    if (name == "lcf_dist_rr") {
+        return std::make_unique<LcfDistScheduler>(LcfDistOptions{
+            .iterations = config.iterations, .round_robin = true});
+    }
+    throw std::invalid_argument("unknown scheduler name: " + std::string(name));
+}
+
+bool is_scheduler_name(std::string_view name) {
+    for (const auto& s : scheduler_names()) {
+        if (s == name) return true;
+    }
+    return false;
+}
+
+const std::vector<std::string>& scheduler_names() {
+    static const std::vector<std::string> names = {
+        "lcf_central",           "lcf_central_rr", "lcf_dist_rr",
+        "lcf_dist",              "pim",            "islip",
+        "wfront",                "fifo",           "maxsize",
+        "lcf_central_rr_single", "lcf_central_rr_first",
+        "ilqf",                  "rrm"};
+    return names;
+}
+
+const std::vector<std::string>& figure12_names() {
+    static const std::vector<std::string> names = {
+        "lcf_central", "lcf_central_rr", "lcf_dist_rr", "lcf_dist",
+        "pim",         "islip",          "wfront",      "fifo",
+        "outbuf"};
+    return names;
+}
+
+}  // namespace lcf::core

@@ -1,0 +1,33 @@
+#pragma once
+// Name-based scheduler construction, covering the paper's entire
+// Figure 12 line-up plus the maximum-size-matching reference. The
+// `outbuf` configuration is not a scheduler (it is a different switch
+// architecture) and is selected through sim::SwitchMode instead.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace lcf::core {
+
+/// Construct a scheduler by its Figure 12 name: "fifo", "pim", "islip",
+/// "wfront", "maxsize", "lcf_central", "lcf_central_rr", "lcf_dist",
+/// "lcf_dist_rr". Throws std::invalid_argument for unknown names.
+std::unique_ptr<sched::Scheduler> make_scheduler(
+    std::string_view name, const sched::SchedulerConfig& config = {});
+
+/// True when `name` is accepted by make_scheduler().
+bool is_scheduler_name(std::string_view name);
+
+/// All constructible scheduler names, in the paper's Figure 12 legend
+/// order (excluding "outbuf", which is a switch mode, and including the
+/// "maxsize" reference at the end).
+const std::vector<std::string>& scheduler_names();
+
+/// The nine Figure 12 configurations in legend order, "outbuf" included.
+const std::vector<std::string>& figure12_names();
+
+}  // namespace lcf::core

@@ -1,0 +1,103 @@
+#include "core/lcf_dist.hpp"
+
+namespace lcf::core {
+
+LcfDistScheduler::LcfDistScheduler(const LcfDistOptions& options)
+    : options_(options) {}
+
+void LcfDistScheduler::reset(std::size_t /*inputs*/, std::size_t /*outputs*/) {
+    rr_input_ = 0;
+    rr_output_ = 0;
+    cycle_ = 0;
+}
+
+void LcfDistScheduler::iterate(const sched::RequestMatrix& requests,
+                               std::size_t iterations,
+                               sched::Matching& out) const {
+    const std::size_t n_in = requests.inputs();
+    const std::size_t n_out = requests.outputs();
+
+    std::vector<std::size_t> nrq(n_in, 0);
+    std::vector<std::size_t> ngt(n_out, 0);
+    std::vector<std::int32_t> grant_to(n_out, sched::kUnmatched);
+
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+        // Request: NRQ of an unmatched initiator = number of its requests
+        // to still-unmatched targets (its remaining choices).
+        for (std::size_t i = 0; i < n_in; ++i) {
+            nrq[i] = 0;
+            if (out.input_matched(i)) continue;
+            const auto& row = requests.row(i);
+            for (std::size_t j = row.find_first(); j != util::BitVec::npos;
+                 j = row.find_next(j)) {
+                if (!out.output_matched(j)) ++nrq[i];
+            }
+        }
+
+        // Grant: each unmatched target grants the requester with the
+        // lowest NRQ; the rotating chain starting at (cycle_ + j) breaks
+        // ties. NGT records how many requests the target saw.
+        bool any_grant = false;
+        for (std::size_t j = 0; j < n_out; ++j) {
+            grant_to[j] = sched::kUnmatched;
+            ngt[j] = 0;
+            if (out.output_matched(j)) continue;
+            std::size_t min_nrq = n_out + 1;
+            for (std::size_t k = 0; k < n_in; ++k) {
+                const std::size_t i = (cycle_ + j + k) % n_in;
+                if (out.input_matched(i) || !requests.get(i, j)) continue;
+                ++ngt[j];
+                if (nrq[i] < min_nrq) {
+                    min_nrq = nrq[i];
+                    grant_to[j] = static_cast<std::int32_t>(i);
+                }
+            }
+            any_grant = any_grant || grant_to[j] != sched::kUnmatched;
+        }
+        if (!any_grant) break;  // converged
+
+        // Accept: each initiator accepts the grant from the target with
+        // the lowest NGT; rotating chain starting at (cycle_ + i) breaks
+        // ties.
+        for (std::size_t i = 0; i < n_in; ++i) {
+            if (out.input_matched(i)) continue;
+            std::int32_t best = sched::kUnmatched;
+            std::size_t min_ngt = n_in + 1;
+            for (std::size_t k = 0; k < n_out; ++k) {
+                const std::size_t j = (cycle_ + i + k) % n_out;
+                if (grant_to[j] != static_cast<std::int32_t>(i)) continue;
+                if (ngt[j] < min_ngt) {
+                    min_ngt = ngt[j];
+                    best = static_cast<std::int32_t>(j);
+                }
+            }
+            if (best != sched::kUnmatched) {
+                out.match(i, static_cast<std::size_t>(best));
+            }
+        }
+    }
+}
+
+void LcfDistScheduler::schedule(const sched::RequestMatrix& requests,
+                                sched::Matching& out) {
+    const std::size_t n_in = requests.inputs();
+    const std::size_t n_out = requests.outputs();
+    out.reset(n_in, n_out);
+    if (n_in == 0 || n_out == 0) return;
+
+    if (options_.round_robin && requests.get(rr_input_, rr_output_)) {
+        // The single round-robin position is granted before regular LCF
+        // iterations take place (§5).
+        out.match(rr_input_, rr_output_);
+    }
+
+    iterate(requests, options_.iterations, out);
+
+    // Advance per-cycle round-robin state: the RR position walks all n²
+    // matrix positions; the tie-break chains rotate by one.
+    rr_input_ = (rr_input_ + 1) % n_in;
+    if (rr_input_ == 0) rr_output_ = (rr_output_ + 1) % n_out;
+    ++cycle_;
+}
+
+}  // namespace lcf::core

@@ -1,0 +1,67 @@
+#pragma once
+// Precalculated schedules (§4.3): hosts may pre-schedule connections —
+// including multicast fan-outs — ahead of the regular LCF pass. The
+// scheduler does not trust the hosts: it verifies the schedule's
+// integrity (at most one input per target) and drops conflicting claims.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sched/matching.hpp"
+#include "util/bitvec.hpp"
+
+namespace lcf::core {
+
+/// A precalculated schedule: for each input, the set of outputs it claims
+/// this slot. A row with more than one bit is a multicast connection.
+class PrecalcSchedule {
+public:
+    PrecalcSchedule() = default;
+    /// Empty schedule over `inputs` × `outputs` ports.
+    PrecalcSchedule(std::size_t inputs, std::size_t outputs);
+    explicit PrecalcSchedule(std::size_t ports)
+        : PrecalcSchedule(ports, ports) {}
+
+    [[nodiscard]] std::size_t inputs() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t outputs() const noexcept { return outputs_; }
+
+    /// Claim output `output` for input `input`.
+    void claim(std::size_t input, std::size_t output) noexcept {
+        rows_[input].set(output);
+    }
+    [[nodiscard]] bool claimed(std::size_t input, std::size_t output) const noexcept {
+        return rows_[input].test(output);
+    }
+    [[nodiscard]] const util::BitVec& row(std::size_t input) const noexcept {
+        return rows_[input];
+    }
+    /// True when no input claims any output.
+    [[nodiscard]] bool empty() const noexcept;
+
+private:
+    std::vector<util::BitVec> rows_;
+    std::size_t outputs_ = 0;
+};
+
+/// Result of a two-stage (precalculated + LCF) scheduling cycle.
+///
+/// `fanout[j]` is the input that drives output j this slot (kUnmatched if
+/// idle) — an input may drive several outputs when a multicast connection
+/// was admitted. `unicast` holds the strictly one-to-one part (the LCF
+/// stage plus unicast precalc rows), `dropped` the precalc claims rejected
+/// by the integrity check.
+struct MulticastResult {
+    std::vector<std::int32_t> fanout;
+    sched::Matching unicast;
+    std::vector<std::pair<std::size_t, std::size_t>> dropped;
+
+    /// Number of driven outputs.
+    [[nodiscard]] std::size_t connections() const noexcept;
+    /// True when no two outputs claim conflicting state and unicast is
+    /// consistent with fanout.
+    [[nodiscard]] bool consistent() const noexcept;
+};
+
+}  // namespace lcf::core

@@ -1,0 +1,167 @@
+#include "fabric/clos.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lcf::fabric {
+
+namespace {
+constexpr std::int32_t kNone = -1;
+}
+
+ClosNetwork::ClosNetwork(std::size_t ports_per_switch,
+                         std::size_t middle_switches,
+                         std::size_t switch_count)
+    : ports_per_switch_(ports_per_switch),
+      middle_switches_(middle_switches),
+      switch_count_(switch_count) {
+    if (ports_per_switch == 0 || middle_switches == 0 || switch_count == 0) {
+        throw std::invalid_argument("Clos geometry parameters must be positive");
+    }
+}
+
+ClosRoute ClosNetwork::route(const sched::Matching& matching) const {
+    const std::size_t n = total_ports();
+    assert(matching.inputs() == n && matching.outputs() == n);
+    const std::size_t m = middle_switches_;
+    const std::size_t r = switch_count_;
+
+    // Connection records: one per matched input port.
+    struct Connection {
+        std::size_t input_port;
+        std::size_t ingress;  // ingress switch
+        std::size_t egress;   // egress switch
+        std::int32_t colour = kNone;  // assigned middle switch
+    };
+    std::vector<Connection> conns;
+    conns.reserve(n);
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::int32_t q = matching.output_of(p);
+        if (q == sched::kUnmatched) continue;
+        conns.push_back(Connection{p, switch_of(p),
+                                   switch_of(static_cast<std::size_t>(q)),
+                                   kNone});
+    }
+
+    // colour -> connection index, per ingress and per egress switch.
+    std::vector<std::int32_t> in_use(r * m, kNone);
+    std::vector<std::int32_t> eg_use(r * m, kNone);
+    const auto in_at = [&](std::size_t sw, std::size_t c) -> std::int32_t& {
+        return in_use[sw * m + c];
+    };
+    const auto eg_at = [&](std::size_t sw, std::size_t c) -> std::int32_t& {
+        return eg_use[sw * m + c];
+    };
+    const auto free_colour = [&](const std::vector<std::int32_t>& table,
+                                 std::size_t sw) -> std::int32_t {
+        for (std::size_t c = 0; c < m; ++c) {
+            if (table[sw * m + c] == kNone) return static_cast<std::int32_t>(c);
+        }
+        return kNone;
+    };
+
+    ClosRoute result;
+    result.middle_of_input.assign(n, kNone);
+
+    for (std::size_t e = 0; e < conns.size(); ++e) {
+        Connection& conn = conns[e];
+        // Fast path: a colour free at both endpoints.
+        std::int32_t chosen = kNone;
+        for (std::size_t c = 0; c < m; ++c) {
+            if (in_at(conn.ingress, c) == kNone &&
+                eg_at(conn.egress, c) == kNone) {
+                chosen = static_cast<std::int32_t>(c);
+                break;
+            }
+        }
+        if (chosen == kNone) {
+            // Augmenting path: alpha free at the ingress side, beta free
+            // at the egress side. With m >= k both always exist (each
+            // switch carries at most k connections); otherwise reject.
+            const std::int32_t alpha = free_colour(in_use, conn.ingress);
+            const std::int32_t beta = free_colour(eg_use, conn.egress);
+            if (alpha == kNone || beta == kNone) {
+                result.rejected_inputs.push_back(conn.input_port);
+                continue;
+            }
+            // Collect the maximal alpha/beta alternating chain starting
+            // with the alpha edge at conn.egress, then swap the two
+            // colours along it. After the swap alpha is free at
+            // conn.egress, and it stays free at conn.ingress because
+            // the chain cannot reach conn.ingress (edges entering an
+            // ingress switch along the chain are alpha-coloured, and
+            // conn.ingress has no alpha edge — Kőnig's argument).
+            const auto a = static_cast<std::size_t>(alpha);
+            const auto b = static_cast<std::size_t>(beta);
+            std::vector<std::int32_t> path;
+            std::int32_t walk = eg_at(conn.egress, a);
+            bool last_was_alpha = true;
+            while (walk != kNone) {
+                path.push_back(walk);
+                const Connection& edge = conns[static_cast<std::size_t>(walk)];
+                walk = last_was_alpha ? in_at(edge.ingress, b)
+                                      : eg_at(edge.egress, a);
+                last_was_alpha = !last_was_alpha;
+            }
+            // Unregister every chain edge, swap its colour, re-register.
+            for (const std::int32_t idx : path) {
+                const Connection& edge = conns[static_cast<std::size_t>(idx)];
+                const auto old = static_cast<std::size_t>(edge.colour);
+                in_at(edge.ingress, old) = kNone;
+                eg_at(edge.egress, old) = kNone;
+            }
+            for (const std::int32_t idx : path) {
+                Connection& edge = conns[static_cast<std::size_t>(idx)];
+                edge.colour = edge.colour == alpha ? beta : alpha;
+                const auto now = static_cast<std::size_t>(edge.colour);
+                assert(in_at(edge.ingress, now) == kNone);
+                assert(eg_at(edge.egress, now) == kNone);
+                in_at(edge.ingress, now) = idx;
+                eg_at(edge.egress, now) = idx;
+            }
+            chosen = alpha;
+        }
+        conn.colour = chosen;
+        const auto c = static_cast<std::size_t>(chosen);
+        assert(in_at(conn.ingress, c) == kNone);
+        assert(eg_at(conn.egress, c) == kNone);
+        in_at(conn.ingress, c) = static_cast<std::int32_t>(e);
+        eg_at(conn.egress, c) = static_cast<std::int32_t>(e);
+    }
+
+    for (const Connection& conn : conns) {
+        result.middle_of_input[conn.input_port] = conn.colour;
+    }
+    return result;
+}
+
+bool ClosNetwork::verify(const sched::Matching& matching,
+                         const ClosRoute& route) const {
+    const std::size_t n = total_ports();
+    if (route.middle_of_input.size() != n) return false;
+    const std::size_t m = middle_switches_;
+    const std::size_t r = switch_count_;
+    std::vector<bool> in_used(r * m, false);
+    std::vector<bool> eg_used(r * m, false);
+    for (std::size_t p = 0; p < n; ++p) {
+        const std::int32_t q = matching.output_of(p);
+        const std::int32_t c = route.middle_of_input[p];
+        if (q == sched::kUnmatched) {
+            if (c != kNone) return false;
+            continue;
+        }
+        if (c == kNone) continue;  // rejected connection — allowed
+        if (c < 0 || static_cast<std::size_t>(c) >= m) return false;
+        const std::size_t in_key =
+            switch_of(p) * m + static_cast<std::size_t>(c);
+        const std::size_t eg_key =
+            switch_of(static_cast<std::size_t>(q)) * m +
+            static_cast<std::size_t>(c);
+        if (in_used[in_key] || eg_used[eg_key]) return false;
+        in_used[in_key] = true;
+        eg_used[eg_key] = true;
+    }
+    return true;
+}
+
+}  // namespace lcf::fabric

@@ -1,0 +1,92 @@
+#pragma once
+// Three-stage Clos network fabric (Clos 1953), the alternative
+// non-blocking fabric §2 of the paper admits in place of the crossbar.
+//
+// Geometry C(k, m, r): r ingress switches of k external ports each, m
+// middle switches (r × r), r egress switches. Total ports N = k·r.
+// Every ingress switch has one link to every middle switch, and every
+// middle switch one link to every egress switch, so routing a set of
+// connections means assigning each connection a middle switch such
+// that no two connections sharing an ingress switch — and no two
+// sharing an egress switch — use the same middle switch.
+//
+// That is exactly edge colouring of the bipartite multigraph whose
+// vertices are ingress/egress switches and whose edges are the
+// connections: with at most k connections per switch, k colours always
+// suffice (Kőnig), so the network is *rearrangeably non-blocking* when
+// m ≥ k (Slepian–Duguid). The router below implements the classic
+// augmenting-path (colour-swap) algorithm and therefore always
+// succeeds for m ≥ k; for m < k it reports the connections it had to
+// reject — letting the simulator quantify the throughput a
+// under-provisioned fabric loses.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/matching.hpp"
+
+namespace lcf::fabric {
+
+/// A routed schedule: the middle switch carrying each connection.
+struct ClosRoute {
+    /// Middle switch index per input port, or -1 when the port is idle
+    /// or its connection was rejected.
+    std::vector<std::int32_t> middle_of_input;
+    /// Connections (input ports) that could not be routed (m < k only).
+    std::vector<std::size_t> rejected_inputs;
+
+    [[nodiscard]] bool complete() const noexcept {
+        return rejected_inputs.empty();
+    }
+};
+
+/// A C(k, m, r) Clos network over N = k·r ports.
+class ClosNetwork {
+public:
+    /// `ports_per_switch` = k, `middle_switches` = m, `switch_count` = r.
+    ClosNetwork(std::size_t ports_per_switch, std::size_t middle_switches,
+                std::size_t switch_count);
+
+    [[nodiscard]] std::size_t total_ports() const noexcept {
+        return ports_per_switch_ * switch_count_;
+    }
+    [[nodiscard]] std::size_t ports_per_switch() const noexcept {
+        return ports_per_switch_;
+    }
+    [[nodiscard]] std::size_t middle_switches() const noexcept {
+        return middle_switches_;
+    }
+    [[nodiscard]] std::size_t switch_count() const noexcept {
+        return switch_count_;
+    }
+    /// True when the network is rearrangeably non-blocking (m >= k):
+    /// route() then never rejects a valid matching.
+    [[nodiscard]] bool rearrangeably_nonblocking() const noexcept {
+        return middle_switches_ >= ports_per_switch_;
+    }
+
+    /// Ingress/egress switch owning a port.
+    [[nodiscard]] std::size_t switch_of(std::size_t port) const noexcept {
+        return port / ports_per_switch_;
+    }
+
+    /// Assign middle switches to every connection of `matching` (which
+    /// must span total_ports() on both sides). Greedy assignment with
+    /// augmenting-path colour swaps; connections that cannot be routed
+    /// (possible only when m < k) are listed in `rejected_inputs`.
+    [[nodiscard]] ClosRoute route(const sched::Matching& matching) const;
+
+    /// Check that `route` is conflict-free for `matching`: every routed
+    /// connection has a middle switch, and no middle switch is used
+    /// twice by one ingress or one egress switch.
+    [[nodiscard]] bool verify(const sched::Matching& matching,
+                              const ClosRoute& route) const;
+
+private:
+    std::size_t ports_per_switch_;
+    std::size_t middle_switches_;
+    std::size_t switch_count_;
+};
+
+}  // namespace lcf::fabric

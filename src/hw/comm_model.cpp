@@ -1,0 +1,29 @@
+#include "hw/comm_model.hpp"
+
+namespace lcf::hw {
+
+std::size_t CommModel::log2_bits(std::size_t n) noexcept {
+    std::size_t bits = 1;
+    while ((std::size_t{1} << bits) < n) ++bits;
+    return bits;
+}
+
+std::uint64_t CommModel::central_bits(std::size_t n) noexcept {
+    const auto nn = static_cast<std::uint64_t>(n);
+    return nn * (nn + log2_bits(n) + 1);
+}
+
+std::uint64_t CommModel::distributed_bits(std::size_t n,
+                                          std::size_t iterations) noexcept {
+    const auto nn = static_cast<std::uint64_t>(n);
+    return static_cast<std::uint64_t>(iterations) * nn * nn *
+           (2 * log2_bits(n) + 3);
+}
+
+double CommModel::overhead_ratio(std::size_t n,
+                                 std::size_t iterations) noexcept {
+    return static_cast<double>(distributed_bits(n, iterations)) /
+           static_cast<double>(central_bits(n));
+}
+
+}  // namespace lcf::hw

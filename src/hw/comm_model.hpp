@@ -1,0 +1,38 @@
+#pragma once
+// Communication-cost model (§6.2, Figure 10): how many bits the
+// scheduler exchanges with the ports per scheduling cycle.
+//
+// Central scheduler (Figure 10a): every input sends its n-bit request
+// vector and receives a log2(n)-bit grant plus a valid bit:
+//     n · (n + log2 n + 1) bits.
+//
+// Distributed scheduler (Figure 10b): in each of i iterations every
+// (input, resource) pair may exchange req(1) + nrq(log2 n) toward the
+// resource and gnt(1) + ngt(log2 n) + acc(1) back:
+//     i · n² · (2·log2 n + 3) bits.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lcf::hw {
+
+/// Bit-count formulas of §6.2.
+class CommModel {
+public:
+    /// Bits per scheduling cycle for the central scheduler.
+    [[nodiscard]] static std::uint64_t central_bits(std::size_t n) noexcept;
+    /// Bits per scheduling cycle for the distributed scheduler running
+    /// `iterations` request/grant/accept iterations.
+    [[nodiscard]] static std::uint64_t distributed_bits(
+        std::size_t n, std::size_t iterations) noexcept;
+    /// distributed_bits / central_bits — the paper's observation that the
+    /// distributed scheme has "significantly higher communication
+    /// demands".
+    [[nodiscard]] static double overhead_ratio(std::size_t n,
+                                               std::size_t iterations) noexcept;
+
+    /// ceil(log2 n) with a minimum of 1 (width of a port index).
+    [[nodiscard]] static std::size_t log2_bits(std::size_t n) noexcept;
+};
+
+}  // namespace lcf::hw

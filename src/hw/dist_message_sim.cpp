@@ -1,0 +1,110 @@
+#include "hw/dist_message_sim.hpp"
+
+#include "hw/comm_model.hpp"
+
+namespace lcf::hw {
+
+void DistMessageSim::reset(std::size_t inputs, std::size_t outputs) {
+    n_in_ = inputs;
+    n_out_ = outputs;
+    index_bits_ = CommModel::log2_bits(std::max(inputs, outputs));
+    cycles_ = 0;
+    stats_ = MessageStats{};
+}
+
+double DistMessageSim::bits_per_cycle() const noexcept {
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(stats_.bits) /
+                              static_cast<double>(cycles_);
+}
+
+void DistMessageSim::schedule(const sched::RequestMatrix& requests,
+                              sched::Matching& out) {
+    out.reset(n_in_, n_out_);
+    if (n_in_ == 0 || n_out_ == 0) return;
+    const std::uint64_t req_bits = 1 + index_bits_;  // req flag + nrq
+    const std::uint64_t gnt_bits = 1 + index_bits_;  // gnt flag + ngt
+    const std::uint64_t acc_bits = 1;                // acc flag
+
+    // Per-target mailboxes of request messages; per-initiator mailboxes
+    // of grant messages (keyed by target).
+    std::vector<std::vector<RequestMsg>> target_mail(n_out_);
+    std::vector<std::vector<std::pair<std::size_t, GrantMsg>>> init_mail(
+        n_in_);
+
+    for (std::size_t iter = 0; iter < iterations_; ++iter) {
+        // Request phase: every unmatched initiator messages every
+        // unmatched target it has a packet for, tagged with its NRQ.
+        for (auto& m : target_mail) m.clear();
+        bool any_request = false;
+        for (std::size_t i = 0; i < n_in_; ++i) {
+            if (out.input_matched(i)) continue;
+            const auto& row = requests.row(i);
+            std::size_t nrq = 0;
+            for (std::size_t j = row.find_first(); j != util::BitVec::npos;
+                 j = row.find_next(j)) {
+                if (!out.output_matched(j)) ++nrq;
+            }
+            if (nrq == 0) continue;
+            for (std::size_t j = row.find_first(); j != util::BitVec::npos;
+                 j = row.find_next(j)) {
+                if (out.output_matched(j)) continue;
+                target_mail[j].push_back(RequestMsg{i, nrq});
+                ++stats_.request_messages;
+                stats_.bits += req_bits;
+                any_request = true;
+            }
+        }
+        if (!any_request) break;
+
+        // Grant phase: each target grants the lowest-NRQ request; ties
+        // break along the rotating chain starting at (cycle + j), the
+        // same rule as core::LcfDistScheduler.
+        for (auto& m : init_mail) m.clear();
+        for (std::size_t j = 0; j < n_out_; ++j) {
+            if (target_mail[j].empty()) continue;
+            const std::size_t ngt = target_mail[j].size();
+            std::size_t best_rank = n_in_;
+            std::size_t best_from = 0;
+            std::size_t min_nrq = n_out_ + 1;
+            for (const RequestMsg& msg : target_mail[j]) {
+                const std::size_t rank =
+                    (msg.from + n_in_ - (cycles_ + j) % n_in_) % n_in_;
+                if (msg.nrq < min_nrq ||
+                    (msg.nrq == min_nrq && rank < best_rank)) {
+                    min_nrq = msg.nrq;
+                    best_rank = rank;
+                    best_from = msg.from;
+                }
+            }
+            init_mail[best_from].emplace_back(j, GrantMsg{j, ngt});
+            ++stats_.grant_messages;
+            stats_.bits += gnt_bits;
+        }
+
+        // Accept phase: each initiator accepts the lowest-NGT grant
+        // (rotating chain from (cycle + i)) and messages the target.
+        for (std::size_t i = 0; i < n_in_; ++i) {
+            if (init_mail[i].empty()) continue;
+            std::size_t best_rank = n_out_;
+            std::size_t best_target = 0;
+            std::size_t min_ngt = n_in_ + 1;
+            for (const auto& [j, msg] : init_mail[i]) {
+                const std::size_t rank =
+                    (j + n_out_ - (cycles_ + i) % n_out_) % n_out_;
+                if (msg.ngt < min_ngt ||
+                    (msg.ngt == min_ngt && rank < best_rank)) {
+                    min_ngt = msg.ngt;
+                    best_rank = rank;
+                    best_target = j;
+                }
+            }
+            out.match(i, best_target);
+            ++stats_.accept_messages;
+            stats_.bits += acc_bits;
+        }
+    }
+    ++cycles_;
+}
+
+}  // namespace lcf::hw

@@ -1,0 +1,77 @@
+#pragma once
+// Message-level model of the distributed LCF scheduler (Figure 10b):
+// per-port scheduler slices that communicate *only* through explicit
+// request / grant / accept messages whose field widths are counted in
+// bits. Two purposes:
+//
+//  1. Executable validation of §6.2's communication-cost formula — the
+//     analytic bound i·n²·(2·log₂n+3) counts the worst case where every
+//     pair exchanges every message; this model counts the bits actually
+//     sent, so the bound and the measured traffic can be compared.
+//  2. A second, structurally different implementation of the
+//     distributed LCF algorithm. It must compute exactly the matchings
+//     of core::LcfDistScheduler (without the round-robin position),
+//     which the test suite verifies — a transcription check analogous
+//     to the central scheduler's RTL equivalence.
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace lcf::hw {
+
+/// Per-run message statistics.
+struct MessageStats {
+    std::uint64_t request_messages = 0;
+    std::uint64_t grant_messages = 0;
+    std::uint64_t accept_messages = 0;
+    std::uint64_t bits = 0;  ///< total payload bits across all messages
+
+    [[nodiscard]] std::uint64_t total_messages() const noexcept {
+        return request_messages + grant_messages + accept_messages;
+    }
+};
+
+/// Distributed LCF as communicating slices. The tie-break rotation is
+/// seeded per cycle exactly like core::LcfDistScheduler's, so the two
+/// implementations stay in lockstep across a whole simulation.
+class DistMessageSim final : public sched::Scheduler {
+public:
+    explicit DistMessageSim(std::size_t iterations = 4)
+        : iterations_(iterations) {}
+
+    void reset(std::size_t inputs, std::size_t outputs) override;
+    void schedule(const sched::RequestMatrix& requests,
+                  sched::Matching& out) override;
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "lcf_dist_msg";
+    }
+
+    /// Message statistics accumulated since reset().
+    [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
+    /// Scheduling cycles executed since reset().
+    [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+    /// Measured bits per cycle, for comparison with
+    /// CommModel::distributed_bits().
+    [[nodiscard]] double bits_per_cycle() const noexcept;
+
+private:
+    struct RequestMsg {
+        std::size_t from;  // initiator slice
+        std::size_t nrq;   // accompanying request count
+    };
+    struct GrantMsg {
+        std::size_t from;  // target slice
+        std::size_t ngt;   // accompanying received-request count
+    };
+
+    std::size_t iterations_;
+    std::size_t n_in_ = 0;
+    std::size_t n_out_ = 0;
+    std::size_t index_bits_ = 1;
+    std::uint64_t cycles_ = 0;
+    MessageStats stats_;
+};
+
+}  // namespace lcf::hw

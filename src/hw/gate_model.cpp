@@ -1,0 +1,74 @@
+#include "hw/gate_model.hpp"
+
+namespace lcf::hw {
+
+namespace {
+// Per-slice register inventory (structural, from Figure 6):
+//   R        n bits   request register
+//   NRQ      n bits   inverse-unary request count (shift register)
+//   PRIO     n bits   inverse-unary rotating priority (shift register)
+//   bus      n bits   sampled open-collector bus value
+//   GNT      log2 n   granted resource
+//   RES      log2 n   resource pointer
+//   CP, NGT  2 bits   compare-pass and not-granted flags
+//   control  kSliceCtrlRegs  FSM/pipeline state (calibrated)
+constexpr std::uint64_t kSliceCtrlRegs = 12;
+
+// Per-slice gate costs (two-input gates per bit of the component):
+//   request sum + NRQ shift/load network, PRIO shift network,
+//   comparator against the bus, bus drivers and samplers, grant decode.
+constexpr std::uint64_t kSliceGatesPerBit = 24;
+constexpr std::uint64_t kSliceGatesPerIndexBit = 8;
+constexpr std::uint64_t kSliceCtrlGates = 34;
+
+// Central part: round-robin anchors (I, J), master RES, per-requester
+// grant collection/valid logic, grant encoder, and the configuration /
+// grant packet staging registers — costs linear in n with calibrated
+// constants.
+constexpr std::uint64_t kCentralRegsPerPort = 12;
+constexpr std::uint64_t kCentralRegsPerIndexBit = 4;
+constexpr std::uint64_t kCentralCtrlRegs = 8;
+constexpr std::uint64_t kCentralGatesPerPort = 40;
+constexpr std::uint64_t kCentralGatesPerIndexBit = 25;
+constexpr std::uint64_t kCentralCtrlGates = 27;
+
+// XCV600 utilisation anchor: Table 1's design is 15 % of the device.
+constexpr double kXcv600GatesAt15Pct = 7967.0;
+}  // namespace
+
+std::size_t GateModel::index_bits(std::size_t n) noexcept {
+    std::size_t bits = 1;
+    while ((std::size_t{1} << bits) < n) ++bits;
+    return bits;
+}
+
+GateCount GateModel::slice(std::size_t n) noexcept {
+    const auto nn = static_cast<std::uint64_t>(n);
+    const auto lg = static_cast<std::uint64_t>(index_bits(n));
+    GateCount c;
+    c.registers = 4 * nn + 2 * lg + 2 + kSliceCtrlRegs;
+    c.gates = kSliceGatesPerBit * nn + kSliceGatesPerIndexBit * lg +
+              kSliceCtrlGates;
+    return c;
+}
+
+GateCount GateModel::central(std::size_t n) noexcept {
+    const auto nn = static_cast<std::uint64_t>(n);
+    const auto lg = static_cast<std::uint64_t>(index_bits(n));
+    GateCount c;
+    c.registers = kCentralRegsPerPort * nn + kCentralRegsPerIndexBit * lg +
+                  kCentralCtrlRegs;
+    c.gates = kCentralGatesPerPort * nn + kCentralGatesPerIndexBit * lg +
+              kCentralCtrlGates;
+    return c;
+}
+
+GateCount GateModel::total(std::size_t n) noexcept {
+    return static_cast<std::uint64_t>(n) * slice(n) + central(n);
+}
+
+double GateModel::xcv600_utilization(std::size_t n) noexcept {
+    return 0.15 * static_cast<double>(total(n).gates) / kXcv600GatesAt15Pct;
+}
+
+}  // namespace lcf::hw

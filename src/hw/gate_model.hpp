@@ -1,0 +1,58 @@
+#pragma once
+// Implementation-cost model of the central LCF scheduler (§6.1 Table 1).
+//
+// The Clint scheduler is partitioned into n identical *requester slices*
+// (the per-input logic of Figure 6: request register R, NRQ and PRIO
+// inverse-unary shift registers, bus drivers/samplers, comparator, GNT
+// and RES registers) and a *central* part (round-robin control, bus
+// pull-ups, grant collection and encoding, packet staging).
+//
+// Register counts are structural: every storage element in Figure 6 is
+// enumerated, plus a fitted constant for control/pipeline state. Gate
+// counts (two-input gates, as Table 1 counts them) use per-component
+// linear costs with constants calibrated so n = 16 reproduces Table 1
+// exactly: slice 450 gates / 86 registers, central 767 gates / 216
+// registers, total 16×450+767 = 7967 gates and 16×86+216 = 1592
+// registers. The model's value is its *scaling*: how cost grows with
+// the port count n.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lcf::hw {
+
+/// Gate/register counts for one configuration.
+struct GateCount {
+    std::uint64_t gates = 0;
+    std::uint64_t registers = 0;
+
+    friend GateCount operator+(GateCount a, GateCount b) noexcept {
+        return {a.gates + b.gates, a.registers + b.registers};
+    }
+    friend GateCount operator*(std::uint64_t k, GateCount c) noexcept {
+        return {k * c.gates, k * c.registers};
+    }
+    friend bool operator==(GateCount, GateCount) noexcept = default;
+};
+
+/// Cost model for an n-port central LCF scheduler.
+class GateModel {
+public:
+    /// Cost of one requester slice (the distributed part, replicated n
+    /// times; may live on the line cards).
+    [[nodiscard]] static GateCount slice(std::size_t n) noexcept;
+    /// Cost of the shared central part.
+    [[nodiscard]] static GateCount central(std::size_t n) noexcept;
+    /// Full scheduler: n slices plus the central part.
+    [[nodiscard]] static GateCount total(std::size_t n) noexcept;
+
+    /// ceil(log2(n)), the width of a port index (>= 1).
+    [[nodiscard]] static std::size_t index_bits(std::size_t n) noexcept;
+
+    /// Approximate share of a Xilinx XCV600's logic this design uses
+    /// (the paper reports 15 % at n = 16; we scale that measurement
+    /// linearly in gate count).
+    [[nodiscard]] static double xcv600_utilization(std::size_t n) noexcept;
+};
+
+}  // namespace lcf::hw

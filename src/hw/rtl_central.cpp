@@ -1,0 +1,134 @@
+#include "hw/rtl_central.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lcf::hw {
+
+void RtlCentralScheduler::reset(std::size_t inputs, std::size_t outputs) {
+    if (inputs != outputs) {
+        throw std::invalid_argument("RTL model supports square switches only");
+    }
+    if (inputs > 63) {
+        // The unary bus registers are modelled in one 64-bit word; the
+        // real hardware is n bits wide and Clint builds n = 16.
+        throw std::invalid_argument("RTL model supports up to 63 ports");
+    }
+    n_ = inputs;
+    slices_.assign(n_, Slice{});
+    for (std::size_t i = 0; i < n_; ++i) {
+        slices_[i].request = util::BitVec(n_);
+    }
+    prio_anchor_ = 0;
+    res_anchor_ = 0;
+    cycles_ = 0;
+    schedules_ = 0;
+}
+
+void RtlCentralScheduler::load_requests(const sched::RequestMatrix& requests) {
+    // Cycle 1 of the schedule: configuration packets load R; each slice
+    // sums its requests into NRQ (inverse-unary) and arms NGT. Cycle 2:
+    // PRIO ranks are established relative to the rotating anchor.
+    for (std::size_t i = 0; i < n_; ++i) {
+        Slice& s = slices_[i];
+        s.request = requests.row(i);
+        s.nrq_unary = unary(s.request.count());
+        const std::size_t rank = (i + n_ - prio_anchor_) % n_;
+        s.prio_unary = unary(rank);
+        s.res = res_anchor_;
+        s.ngt = true;
+        s.cp = false;
+        s.gnt = sched::kUnmatched;
+    }
+    cycles_ += 2;
+}
+
+void RtlCentralScheduler::schedule_one_resource() {
+    const std::size_t res = slices_.empty() ? 0 : slices_[0].res;
+
+    // Phase 1 (one cycle): NRQ comparison on the open-collector bus.
+    // Drivers are the not-yet-granted slices requesting `res`; the bus
+    // wire-ANDs the unary counts, keeping the minimum.
+    std::uint64_t bus = ~std::uint64_t{0};
+    bool any_driver = false;
+    for (Slice& s : slices_) {
+        if (s.ngt && s.request.test(res)) {
+            bus &= s.nrq_unary;
+            any_driver = true;
+        }
+    }
+    for (Slice& s : slices_) {
+        s.cp = s.ngt && s.request.test(res) && s.nrq_unary == bus;
+    }
+    ++cycles_;
+
+    // Phase 2 (one cycle): PRIO arbitration among CP slices; the rank-0
+    // slice participates regardless of CP (round-robin position wins).
+    std::uint64_t prio_bus = ~std::uint64_t{0};
+    [[maybe_unused]] bool any_part = false;  // consumed by the debug assert
+    for (Slice& s : slices_) {
+        const bool rr_override = s.prio_unary == 0 && s.ngt && s.request.test(res);
+        if (s.cp || rr_override) {
+            prio_bus &= s.prio_unary;
+            any_part = true;
+        }
+    }
+    if (any_driver) {
+        assert(any_part);
+        for (Slice& s : slices_) {
+            const bool rr_override =
+                s.prio_unary == 0 && s.ngt && s.request.test(res);
+            if ((s.cp || rr_override) && s.prio_unary == prio_bus) {
+                s.gnt = static_cast<std::int32_t>(res);
+                s.ngt = false;
+                break;  // unary ranks are unique: exactly one winner
+            }
+        }
+    }
+    ++cycles_;
+
+    // Update phase (one cycle): NRQ of every remaining requester of
+    // `res` shifts down one; PRIO rotates; RES increments.
+    for (Slice& s : slices_) {
+        if (s.ngt && s.request.test(res)) s.nrq_unary >>= 1;
+        // Rotate rank r -> (r - 1) mod n in unary: rank 0 wraps to n-1.
+        if (s.prio_unary == 0) {
+            s.prio_unary = unary(n_ - 1);
+        } else {
+            s.prio_unary >>= 1;
+        }
+        s.res = (s.res + 1) % n_;
+    }
+    ++cycles_;
+}
+
+void RtlCentralScheduler::schedule(const sched::RequestMatrix& requests,
+                                   sched::Matching& out) {
+    if (requests.inputs() != n_ || requests.outputs() != n_) {
+        reset(requests.inputs(), requests.outputs());
+    }
+    out.reset(n_, n_);
+    if (n_ == 0) return;
+
+    load_requests(requests);
+    for (std::size_t step = 0; step < n_; ++step) {
+        schedule_one_resource();
+    }
+
+    for (std::size_t i = 0; i < n_; ++i) {
+        if (slices_[i].gnt != sched::kUnmatched) {
+            out.match(i, static_cast<std::size_t>(slices_[i].gnt));
+        }
+    }
+
+    // End of schedule: one extra PRIO shift moves the diagonal's input
+    // anchor; one extra RES increment every n schedules moves its output
+    // anchor (§4.2).
+    prio_anchor_ = (prio_anchor_ + 1) % n_;
+    ++schedules_;
+    if (schedules_ % n_ == 0) {
+        res_anchor_ = (res_anchor_ + 1) % n_;
+    }
+}
+
+}  // namespace lcf::hw

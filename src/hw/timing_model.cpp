@@ -1,0 +1,12 @@
+#include "hw/timing_model.hpp"
+
+#include <cmath>
+
+namespace lcf::hw {
+
+std::uint64_t TimingModel::nanoseconds(std::uint64_t cycles) const noexcept {
+    return static_cast<std::uint64_t>(
+        std::llround(seconds(cycles) * 1e9));
+}
+
+}  // namespace lcf::hw

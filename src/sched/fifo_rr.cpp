@@ -1,0 +1,29 @@
+#include "sched/fifo_rr.hpp"
+
+namespace lcf::sched {
+
+void FifoRrScheduler::reset(std::size_t inputs, std::size_t outputs) {
+    inputs_ = inputs;
+    grant_ptr_.assign(outputs, 0);
+}
+
+void FifoRrScheduler::schedule(const RequestMatrix& requests, Matching& out) {
+    out.reset(requests.inputs(), requests.outputs());
+    // In FIFO mode each input requests at most its head-of-line
+    // destination, so grants never conflict on the input side. The
+    // matched-input guard makes the arbiter well-defined on general
+    // request matrices too (it then acts as a greedy row-exclusive
+    // round-robin arbiter).
+    for (std::size_t j = 0; j < requests.outputs(); ++j) {
+        for (std::size_t k = 0; k < requests.inputs(); ++k) {
+            const std::size_t i = (grant_ptr_[j] + k) % requests.inputs();
+            if (!out.input_matched(i) && requests.get(i, j)) {
+                out.match(i, j);
+                grant_ptr_[j] = (i + 1) % requests.inputs();
+                break;
+            }
+        }
+    }
+}
+
+}  // namespace lcf::sched

@@ -1,0 +1,59 @@
+#include "sched/islip.hpp"
+
+namespace lcf::sched {
+
+IslipScheduler::IslipScheduler(const SchedulerConfig& config)
+    : iterations_(config.iterations) {}
+
+void IslipScheduler::reset(std::size_t inputs, std::size_t outputs) {
+    grant_ptr_.assign(outputs, 0);
+    accept_ptr_.assign(inputs, 0);
+}
+
+void IslipScheduler::schedule(const RequestMatrix& requests, Matching& out) {
+    const std::size_t n_in = requests.inputs();
+    const std::size_t n_out = requests.outputs();
+    out.reset(n_in, n_out);
+    if (grant_ptr_.size() != n_out) grant_ptr_.assign(n_out, 0);
+    if (accept_ptr_.size() != n_in) accept_ptr_.assign(n_in, 0);
+    grant_to_.assign(n_out, kUnmatched);
+
+    for (std::size_t iter = 0; iter < iterations_; ++iter) {
+        // Grant: each unmatched output grants the first unmatched
+        // requesting input at or after its pointer. Pointers are NOT
+        // moved here; they move only on first-iteration accepts.
+        bool any_grant = false;
+        for (std::size_t j = 0; j < n_out; ++j) {
+            grant_to_[j] = kUnmatched;
+            if (out.output_matched(j)) continue;
+            for (std::size_t k = 0; k < n_in; ++k) {
+                const std::size_t i = (grant_ptr_[j] + k) % n_in;
+                if (!out.input_matched(i) && requests.get(i, j)) {
+                    grant_to_[j] = static_cast<std::int32_t>(i);
+                    any_grant = true;
+                    break;
+                }
+            }
+        }
+        if (!any_grant) break;
+
+        // Accept: each input accepts the first granting output at or
+        // after its accept pointer.
+        for (std::size_t i = 0; i < n_in; ++i) {
+            if (out.input_matched(i)) continue;
+            for (std::size_t k = 0; k < n_out; ++k) {
+                const std::size_t j = (accept_ptr_[i] + k) % n_out;
+                if (grant_to_[j] == static_cast<std::int32_t>(i)) {
+                    out.match(i, j);
+                    if (iter == 0) {
+                        grant_ptr_[j] = (i + 1) % n_in;
+                        accept_ptr_[i] = (j + 1) % n_out;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace lcf::sched

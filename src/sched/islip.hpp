@@ -1,0 +1,33 @@
+#pragma once
+// iSLIP (McKeown 1999): iterative request / grant / accept with rotating
+// priority pointers instead of PIM's randomness. Grant pointers (one per
+// output) and accept pointers (one per input) advance one position beyond
+// the granted/accepted port, and only when the match was made in the
+// first iteration — the property that desynchronises the pointers and
+// yields 100 % throughput under uniform traffic.
+
+#include "sched/scheduler.hpp"
+
+#include <vector>
+
+namespace lcf::sched {
+
+/// iSLIP with a configurable iteration count.
+class IslipScheduler final : public Scheduler {
+public:
+    explicit IslipScheduler(const SchedulerConfig& config = {});
+
+    void reset(std::size_t inputs, std::size_t outputs) override;
+    void schedule(const RequestMatrix& requests, Matching& out) override;
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "islip";
+    }
+
+private:
+    std::size_t iterations_;
+    std::vector<std::size_t> grant_ptr_;   // per-output g[j]
+    std::vector<std::size_t> accept_ptr_;  // per-input a[i]
+    std::vector<std::int32_t> grant_to_;   // output -> granted input, per iter
+};
+
+}  // namespace lcf::sched

@@ -1,0 +1,93 @@
+#include "sched/maxsize.hpp"
+
+#include <limits>
+
+namespace lcf::sched {
+
+namespace {
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+}
+
+void MaxSizeScheduler::reset(std::size_t inputs, std::size_t outputs) {
+    match_in_.assign(inputs, kUnmatched);
+    match_out_.assign(outputs, kUnmatched);
+}
+
+bool MaxSizeScheduler::bfs(const RequestMatrix& requests) {
+    queue_.clear();
+    for (std::size_t i = 0; i < match_in_.size(); ++i) {
+        if (match_in_[i] == kUnmatched) {
+            layer_[i] = 0;
+            queue_.push_back(i);
+        } else {
+            layer_[i] = kInf;
+        }
+    }
+    bool found_free_output = false;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+        const std::size_t i = queue_[head];
+        const auto& row = requests.row(i);
+        for (std::size_t j = row.find_first(); j != util::BitVec::npos;
+             j = row.find_next(j)) {
+            const std::int32_t owner = match_out_[j];
+            if (owner == kUnmatched) {
+                found_free_output = true;
+            } else if (layer_[static_cast<std::size_t>(owner)] == kInf) {
+                layer_[static_cast<std::size_t>(owner)] = layer_[i] + 1;
+                queue_.push_back(static_cast<std::size_t>(owner));
+            }
+        }
+    }
+    return found_free_output;
+}
+
+bool MaxSizeScheduler::dfs(const RequestMatrix& requests, std::size_t input) {
+    const auto& row = requests.row(input);
+    for (std::size_t j = row.find_first(); j != util::BitVec::npos;
+         j = row.find_next(j)) {
+        const std::int32_t owner = match_out_[j];
+        if (owner == kUnmatched ||
+            (layer_[static_cast<std::size_t>(owner)] == layer_[input] + 1 &&
+             dfs(requests, static_cast<std::size_t>(owner)))) {
+            match_in_[input] = static_cast<std::int32_t>(j);
+            match_out_[j] = static_cast<std::int32_t>(input);
+            return true;
+        }
+    }
+    layer_[input] = kInf;  // dead end: prune this vertex for this phase
+    return false;
+}
+
+void MaxSizeScheduler::schedule(const RequestMatrix& requests, Matching& out) {
+    const std::size_t n_in = requests.inputs();
+    const std::size_t n_out = requests.outputs();
+    match_in_.assign(n_in, kUnmatched);
+    match_out_.assign(n_out, kUnmatched);
+    layer_.assign(n_in, kInf);
+
+    while (bfs(requests)) {
+        for (std::size_t i = 0; i < n_in; ++i) {
+            if (match_in_[i] == kUnmatched) {
+                dfs(requests, i);
+            }
+        }
+    }
+
+    out.reset(n_in, n_out);
+    for (std::size_t i = 0; i < n_in; ++i) {
+        if (match_in_[i] != kUnmatched) {
+            out.match(i, static_cast<std::size_t>(match_in_[i]));
+        }
+    }
+}
+
+std::size_t MaxSizeScheduler::maximum_matching_size(
+    const RequestMatrix& requests) {
+    MaxSizeScheduler s;
+    Matching m;
+    s.reset(requests.inputs(), requests.outputs());
+    s.schedule(requests, m);
+    return m.size();
+}
+
+}  // namespace lcf::sched

@@ -1,0 +1,41 @@
+#pragma once
+// Maximum-size bipartite matching via Hopcroft–Karp (O(E·sqrt(V))).
+//
+// The paper's introduction cites maximum-size matching as the throughput-
+// optimal but impractically slow and starvation-prone reference point; we
+// implement it as a baseline so tests and benches can compare every
+// heuristic scheduler's matching size against the true optimum.
+
+#include "sched/scheduler.hpp"
+
+#include <vector>
+
+namespace lcf::sched {
+
+/// Hopcroft–Karp maximum matching presented through the Scheduler
+/// interface. Stateless across slots (no fairness mechanism whatsoever —
+/// the starvation examples in the tests exploit exactly that).
+class MaxSizeScheduler final : public Scheduler {
+public:
+    void reset(std::size_t inputs, std::size_t outputs) override;
+    void schedule(const RequestMatrix& requests, Matching& out) override;
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "maxsize";
+    }
+
+    /// Size of a maximum matching for `requests` (utility for tests).
+    static std::size_t maximum_matching_size(const RequestMatrix& requests);
+
+private:
+    // Hopcroft–Karp working state, kept as members to avoid per-slot
+    // allocation in long simulations.
+    std::vector<std::int32_t> match_in_;   // input  -> output
+    std::vector<std::int32_t> match_out_;  // output -> input
+    std::vector<std::uint32_t> layer_;     // BFS layers over inputs
+    std::vector<std::size_t> queue_;
+
+    bool bfs(const RequestMatrix& requests);
+    bool dfs(const RequestMatrix& requests, std::size_t input);
+};
+
+}  // namespace lcf::sched

@@ -1,0 +1,56 @@
+#include "sched/pim.hpp"
+
+namespace lcf::sched {
+
+PimScheduler::PimScheduler(const SchedulerConfig& config)
+    : iterations_(config.iterations), rng_(config.seed), seed_(config.seed) {}
+
+void PimScheduler::reset(std::size_t inputs, std::size_t /*outputs*/) {
+    rng_ = util::Xoshiro256(seed_);
+    grants_.assign(inputs, {});
+}
+
+void PimScheduler::schedule(const RequestMatrix& requests, Matching& out) {
+    const std::size_t n_in = requests.inputs();
+    const std::size_t n_out = requests.outputs();
+    out.reset(n_in, n_out);
+    if (grants_.size() != n_in) grants_.assign(n_in, {});
+
+    for (std::size_t iter = 0; iter < iterations_; ++iter) {
+        // Grant: each unmatched output picks uniformly at random among the
+        // unmatched inputs requesting it (reservoir sampling over the
+        // column avoids materialising contender lists).
+        for (auto& g : grants_) g.clear();
+        bool any_grant = false;
+        for (std::size_t j = 0; j < n_out; ++j) {
+            if (out.output_matched(j)) continue;
+            std::int32_t chosen = kUnmatched;
+            std::uint64_t seen = 0;
+            for (std::size_t i = 0; i < n_in; ++i) {
+                if (out.input_matched(i) || !requests.get(i, j)) continue;
+                ++seen;
+                if (rng_.next_below(seen) == 0) {
+                    chosen = static_cast<std::int32_t>(i);
+                }
+            }
+            if (chosen != kUnmatched) {
+                grants_[static_cast<std::size_t>(chosen)].push_back(
+                    static_cast<std::int32_t>(j));
+                any_grant = true;
+            }
+        }
+        if (!any_grant) break;  // converged: no augmenting grants possible
+
+        // Accept: each input with grants picks one uniformly at random.
+        for (std::size_t i = 0; i < n_in; ++i) {
+            const auto& g = grants_[i];
+            if (g.empty()) continue;
+            const std::size_t pick =
+                g.size() == 1 ? 0
+                              : static_cast<std::size_t>(rng_.next_below(g.size()));
+            out.match(i, static_cast<std::size_t>(g[pick]));
+        }
+    }
+}
+
+}  // namespace lcf::sched

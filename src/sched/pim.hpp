@@ -1,0 +1,35 @@
+#pragma once
+// Parallel Iterative Matching (Anderson, Owicki, Saxe, Thacker 1993):
+// iterative request / grant / accept with *uniform random* selection at
+// both the grant and accept steps. The direct ancestor of the distributed
+// LCF scheduler, which replaces randomness with request-count priorities.
+
+#include "sched/scheduler.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lcf::sched {
+
+/// PIM with a configurable iteration count (paper's Figure 12 uses 4).
+class PimScheduler final : public Scheduler {
+public:
+    explicit PimScheduler(const SchedulerConfig& config = {});
+
+    void reset(std::size_t inputs, std::size_t outputs) override;
+    void schedule(const RequestMatrix& requests, Matching& out) override;
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "pim";
+    }
+
+private:
+    std::size_t iterations_;
+    util::Xoshiro256 rng_;
+    std::uint64_t seed_;
+    // Scratch reused across slots to avoid per-slot allocation.
+    std::vector<std::int32_t> grant_of_input_;   // output that granted input i
+    std::vector<std::vector<std::int32_t>> grants_;  // grants received per input
+};
+
+}  // namespace lcf::sched

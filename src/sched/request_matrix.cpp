@@ -1,0 +1,34 @@
+#include "sched/request_matrix.hpp"
+
+namespace lcf::sched {
+
+RequestMatrix::RequestMatrix(std::size_t inputs, std::size_t outputs)
+    : rows_(inputs, util::BitVec(outputs)), outputs_(outputs) {}
+
+void RequestMatrix::clear() noexcept {
+    for (auto& r : rows_) r.clear();
+}
+
+std::size_t RequestMatrix::col_count(std::size_t output) const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : rows_) {
+        if (r.test(output)) ++n;
+    }
+    return n;
+}
+
+std::size_t RequestMatrix::total() const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : rows_) n += r.count();
+    return n;
+}
+
+RequestMatrix make_requests(
+    std::size_t ports,
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs) {
+    RequestMatrix m(ports);
+    for (const auto& [i, j] : pairs) m.set(i, j);
+    return m;
+}
+
+}  // namespace lcf::sched

@@ -1,0 +1,73 @@
+#pragma once
+// The n_in × n_out boolean request matrix R: R[i,j] is set when input
+// (requester/initiator) i has at least one packet queued for output
+// (resource/target) j. This is the sole input every scheduler sees,
+// mirroring the paper's model where each initiator sends a request
+// vector per scheduling cycle.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace lcf::sched {
+
+/// Boolean request matrix with per-row bit vectors.
+///
+/// Row r is the request vector of input r (one bit per output), so
+/// schedulers can intersect/scan rows word-parallel. Column access is
+/// provided for output-centric algorithms (wavefront, central LCF).
+class RequestMatrix {
+public:
+    RequestMatrix() = default;
+    /// All-clear matrix with `inputs` rows and `outputs` columns.
+    RequestMatrix(std::size_t inputs, std::size_t outputs);
+    /// Square all-clear matrix (the common case: n × n switch).
+    explicit RequestMatrix(std::size_t ports)
+        : RequestMatrix(ports, ports) {}
+
+    [[nodiscard]] std::size_t inputs() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t outputs() const noexcept { return outputs_; }
+
+    /// Read request bit [input, output].
+    [[nodiscard]] bool get(std::size_t input, std::size_t output) const noexcept {
+        return rows_[input].test(output);
+    }
+    /// Write request bit [input, output].
+    void set(std::size_t input, std::size_t output, bool value = true) noexcept {
+        rows_[input].set(output, value);
+    }
+    /// Clear every bit.
+    void clear() noexcept;
+
+    /// Row `input` as a bit vector over outputs.
+    [[nodiscard]] const util::BitVec& row(std::size_t input) const noexcept {
+        return rows_[input];
+    }
+    /// Mutable row access (the simulator rebuilds rows in place).
+    [[nodiscard]] util::BitVec& row(std::size_t input) noexcept {
+        return rows_[input];
+    }
+
+    /// Number of requests issued by `input` (NRQ in the paper).
+    [[nodiscard]] std::size_t row_count(std::size_t input) const noexcept {
+        return rows_[input].count();
+    }
+    /// Number of requesters of `output` (NGT in the paper).
+    [[nodiscard]] std::size_t col_count(std::size_t output) const noexcept;
+    /// Total number of set request bits.
+    [[nodiscard]] std::size_t total() const noexcept;
+
+    friend bool operator==(const RequestMatrix&, const RequestMatrix&) = default;
+
+private:
+    std::vector<util::BitVec> rows_;
+    std::size_t outputs_ = 0;
+};
+
+/// Build a matrix from an initializer-style vector of (input, output)
+/// pairs — convenient in tests for transcribing the paper's figures.
+RequestMatrix make_requests(std::size_t ports,
+                            const std::vector<std::pair<std::size_t, std::size_t>>& pairs);
+
+}  // namespace lcf::sched

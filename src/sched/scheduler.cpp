@@ -1,0 +1,10 @@
+#include "sched/scheduler.hpp"
+
+namespace lcf::sched {
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::observe_queue_lengths(std::span<const std::uint32_t>,
+                                      std::size_t) {}
+
+}  // namespace lcf::sched

@@ -1,0 +1,31 @@
+#include "sched/wavefront.hpp"
+
+namespace lcf::sched {
+
+void WavefrontScheduler::reset(std::size_t /*inputs*/, std::size_t /*outputs*/) {
+    priority_diag_ = 0;
+}
+
+void WavefrontScheduler::schedule(const RequestMatrix& requests, Matching& out) {
+    const std::size_t n_in = requests.inputs();
+    const std::size_t n_out = requests.outputs();
+    out.reset(n_in, n_out);
+    if (n_in == 0 || n_out == 0) return;
+
+    // Wrapped diagonal d holds cells (i, j) with (i + j) mod n_out == d
+    // (square switches in practice; rectangular ones sweep per-row).
+    const std::size_t diags = n_out;
+    for (std::size_t step = 0; step < diags; ++step) {
+        const std::size_t d = (priority_diag_ + step) % diags;
+        for (std::size_t i = 0; i < n_in; ++i) {
+            const std::size_t j = (d + n_out - (i % n_out)) % n_out;
+            if (!out.input_matched(i) && !out.output_matched(j) &&
+                requests.get(i, j)) {
+                out.match(i, j);
+            }
+        }
+    }
+    priority_diag_ = (priority_diag_ + 1) % diags;
+}
+
+}  // namespace lcf::sched

@@ -1,0 +1,25 @@
+#pragma once
+// Wrapped Wave Front Arbiter (Tamir & Chi 1993): the request matrix is
+// swept as n wrapped diagonals; the cells of one wrapped diagonal touch
+// distinct rows and columns, so a hardware array evaluates each diagonal
+// in a single step and the whole schedule in n steps. The diagonal that
+// is swept first rotates every slot, which provides round-robin fairness.
+
+#include "sched/scheduler.hpp"
+
+namespace lcf::sched {
+
+/// Wrapped wavefront arbiter (`wfront` in the paper's Figure 12).
+class WavefrontScheduler final : public Scheduler {
+public:
+    void reset(std::size_t inputs, std::size_t outputs) override;
+    void schedule(const RequestMatrix& requests, Matching& out) override;
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "wfront";
+    }
+
+private:
+    std::size_t priority_diag_ = 0;  // diagonal swept first this slot
+};
+
+}  // namespace lcf::sched

@@ -1,0 +1,18 @@
+#pragma once
+// Fixed-size packet (cell) descriptor. The paper's switch forwards
+// fixed-size packets in aligned time slots, so the payload never matters
+// to the simulation — only identity, endpoints, and timing.
+
+#include <cstdint>
+
+namespace lcf::sim {
+
+/// One fixed-size packet travelling through the simulated switch.
+struct Packet {
+    std::uint64_t id = 0;        ///< unique per simulation, in generation order
+    std::uint32_t source = 0;    ///< input port that generated it
+    std::uint32_t destination = 0;  ///< output port it is destined for
+    std::uint64_t generated_slot = 0;  ///< slot in which the PG emitted it
+};
+
+}  // namespace lcf::sim

@@ -1,0 +1,34 @@
+#include "sim/packet_queue.hpp"
+
+#include <cassert>
+
+namespace lcf::sim {
+
+PacketQueue::PacketQueue(std::size_t capacity) : buffer_(capacity) {}
+
+bool PacketQueue::push(const Packet& p) noexcept {
+    if (full()) return false;
+    buffer_[(head_ + size_) % buffer_.size()] = p;
+    ++size_;
+    return true;
+}
+
+const Packet& PacketQueue::front() const noexcept {
+    assert(!empty());
+    return buffer_[head_];
+}
+
+Packet PacketQueue::pop() noexcept {
+    assert(!empty());
+    const Packet p = buffer_[head_];
+    head_ = (head_ + 1) % buffer_.size();
+    --size_;
+    return p;
+}
+
+void PacketQueue::clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+}
+
+}  // namespace lcf::sim

@@ -1,0 +1,40 @@
+#pragma once
+// Bounded FIFO of packets, backed by a ring buffer. Used for the packet
+// queues (PQ), the virtual output queues (VOQ), and the output buffers of
+// the output-buffered switch model.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/packet.hpp"
+
+namespace lcf::sim {
+
+/// Bounded FIFO with O(1) push/pop and no allocation after construction.
+class PacketQueue {
+public:
+    PacketQueue() = default;
+    /// Queue holding at most `capacity` packets.
+    explicit PacketQueue(std::size_t capacity);
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] bool full() const noexcept { return size_ == buffer_.size(); }
+
+    /// Append `p`; returns false (and drops it) when full.
+    bool push(const Packet& p) noexcept;
+    /// Head of the queue (precondition: !empty()).
+    [[nodiscard]] const Packet& front() const noexcept;
+    /// Remove and return the head (precondition: !empty()).
+    Packet pop() noexcept;
+    /// Drop all contents.
+    void clear() noexcept;
+
+private:
+    std::vector<Packet> buffer_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace lcf::sim

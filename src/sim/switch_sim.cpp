@@ -1,0 +1,268 @@
+#include "sim/switch_sim.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lcf::sim {
+
+SwitchSim::SwitchSim(const SimConfig& config,
+                     std::unique_ptr<sched::Scheduler> scheduler,
+                     std::unique_ptr<traffic::TrafficGenerator> traffic)
+    : config_(config),
+      scheduler_(std::move(scheduler)),
+      traffic_(std::move(traffic)),
+      metrics_(config.ports, config.ports, config.warmup_slots,
+               config.record_service_matrix),
+      requests_(config.ports),
+      matching_(config.ports) {
+    if (config_.ports == 0) {
+        throw std::invalid_argument("ports must be positive");
+    }
+    if (traffic_ == nullptr) {
+        throw std::invalid_argument("traffic generator required");
+    }
+    if (config_.mode != SwitchMode::kOutputBuffered && scheduler_ == nullptr) {
+        throw std::invalid_argument("scheduler required for input-queued modes");
+    }
+
+    traffic_->reset(config_.ports, config_.ports, config_.seed);
+    if (config_.speedup == 0) {
+        throw std::invalid_argument("speedup must be at least 1");
+    }
+    switch (config_.mode) {
+        case SwitchMode::kVoq:
+            input_queues_.assign(config_.ports,
+                                 PacketQueue(config_.pq_capacity));
+            voqs_.assign(config_.ports,
+                         VoqBank(config_.ports, config_.voq_capacity));
+            if (config_.speedup > 1) {
+                output_buffers_.assign(config_.ports,
+                                       PacketQueue(config_.outbuf_capacity));
+            }
+            break;
+        case SwitchMode::kFifo:
+            input_queues_.assign(config_.ports,
+                                 PacketQueue(config_.fifo_capacity));
+            break;
+        case SwitchMode::kOutputBuffered:
+            output_buffers_.assign(config_.ports,
+                                   PacketQueue(config_.outbuf_capacity));
+            break;
+    }
+    if (scheduler_ != nullptr) {
+        scheduler_->reset(config_.ports, config_.ports);
+    }
+    if (config_.clos_middle > 0) {
+        if (config_.clos_group == 0 ||
+            config_.ports % config_.clos_group != 0) {
+            throw std::invalid_argument(
+                "ports must be a multiple of clos_group");
+        }
+        clos_.emplace(config_.clos_group, config_.clos_middle,
+                      config_.ports / config_.clos_group);
+    }
+}
+
+void SwitchSim::apply_fabric() {
+    if (!clos_) return;
+    const fabric::ClosRoute route = clos_->route(matching_);
+    for (const std::size_t input : route.rejected_inputs) {
+        matching_.unmatch_input(input);
+        ++fabric_blocked_;
+    }
+}
+
+void SwitchSim::deliver(const Packet& p) {
+    // The packet crosses the output link during the current slot and is
+    // gone at its end: delay = (slot_ + 1) - generated_slot, so a packet
+    // forwarded in its generation slot has the minimum delay of 1.
+    const std::uint64_t delay = slot_ + 1 - p.generated_slot;
+    metrics_.on_delivered(p.generated_slot, delay, p.source, p.destination);
+    if (slot_ >= config_.warmup_slots) ++departed_after_warmup_;
+}
+
+void SwitchSim::step_arrivals() {
+    for (std::size_t i = 0; i < config_.ports; ++i) {
+        const std::int32_t dst = traffic_->arrival(i, slot_);
+        if (dst == traffic::kNoArrival) continue;
+        metrics_.on_generated();
+        const Packet p{next_packet_id_++, static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(dst), slot_};
+        bool accepted = false;
+        switch (config_.mode) {
+            case SwitchMode::kVoq:
+            case SwitchMode::kFifo:
+                accepted = input_queues_[i].push(p);
+                break;
+            case SwitchMode::kOutputBuffered:
+                accepted = output_buffers_[p.destination].push(p);
+                break;
+        }
+        if (!accepted) metrics_.on_dropped();
+    }
+}
+
+void SwitchSim::step_voq_mode() {
+    // PQ -> VOQ: move packets as long as the head's VOQ has space
+    // ("buffered in the packet queues and next, if space permits, in the
+    // virtual output queues").
+    for (std::size_t i = 0; i < config_.ports; ++i) {
+        auto& pq = input_queues_[i];
+        while (!pq.empty() &&
+               !voqs_[i].queue(pq.front().destination).full()) {
+            voqs_[i].push(pq.pop());
+        }
+    }
+
+    for (std::size_t phase = 0; phase < config_.speedup; ++phase) {
+        // Request matrix from VOQ occupancy.
+        for (std::size_t i = 0; i < config_.ports; ++i) {
+            voqs_[i].fill_request_vector(requests_.row(i));
+        }
+
+        if (phase == 0 && slot_ >= config_.warmup_slots) {
+            // "Choices" diagnostic: mean non-empty VOQs per input.
+            std::size_t nonempty = 0;
+            for (std::size_t i = 0; i < config_.ports; ++i) {
+                nonempty += requests_.row(i).count();
+            }
+            choices_accum_ += static_cast<double>(nonempty) /
+                              static_cast<double>(config_.ports);
+            ++choices_slots_;
+        }
+
+        // Weight-aware schedulers (iLQF) additionally see the occupancy
+        // counts behind the request bits.
+        if (scheduler_->wants_queue_lengths()) {
+            queue_lengths_.resize(config_.ports * config_.ports);
+            for (std::size_t i = 0; i < config_.ports; ++i) {
+                for (std::size_t j = 0; j < config_.ports; ++j) {
+                    queue_lengths_[i * config_.ports + j] =
+                        static_cast<std::uint32_t>(voqs_[i].queue(j).size());
+                }
+            }
+            scheduler_->observe_queue_lengths(queue_lengths_, config_.ports);
+        }
+
+        scheduler_->schedule(requests_, matching_);
+        assert(matching_.valid_for(requests_));
+        apply_fabric();
+
+        // Transfer the head-of-VOQ packet of every matched pair. At
+        // speedup 1 the packet crosses straight onto the output link;
+        // with speedup the fabric outruns the link, so packets land in
+        // the per-output buffer drained at line rate below.
+        for (std::size_t j = 0; j < config_.ports; ++j) {
+            const std::int32_t i = matching_.input_of(j);
+            if (i == sched::kUnmatched) continue;
+            auto& q = voqs_[static_cast<std::size_t>(i)].queue(j);
+            assert(!q.empty());
+            if (config_.speedup == 1) {
+                deliver(q.pop());
+            } else if (!output_buffers_[j].full()) {
+                output_buffers_[j].push(q.pop());
+            }
+            // A full output buffer leaves the packet in its VOQ.
+        }
+    }
+
+    if (config_.speedup > 1) {
+        for (std::size_t j = 0; j < config_.ports; ++j) {
+            if (!output_buffers_[j].empty()) {
+                deliver(output_buffers_[j].pop());
+            }
+        }
+    }
+}
+
+void SwitchSim::step_fifo_mode() {
+    // Head-of-line requests: each input requests exactly the destination
+    // of its FIFO head.
+    requests_.clear();
+    for (std::size_t i = 0; i < config_.ports; ++i) {
+        if (!input_queues_[i].empty()) {
+            requests_.set(i, input_queues_[i].front().destination);
+        }
+    }
+
+    scheduler_->schedule(requests_, matching_);
+    assert(matching_.valid_for(requests_));
+    apply_fabric();
+
+    for (std::size_t j = 0; j < config_.ports; ++j) {
+        const std::int32_t i = matching_.input_of(j);
+        if (i == sched::kUnmatched) continue;
+        auto& q = input_queues_[static_cast<std::size_t>(i)];
+        assert(!q.empty() && q.front().destination == j);
+        deliver(q.pop());
+    }
+}
+
+void SwitchSim::step_outbuf_mode() {
+    // Arrivals were written straight into the output buffers (the fabric
+    // of an output-buffered switch accepts up to n packets per output per
+    // slot); each output link drains one packet per slot.
+    for (std::size_t j = 0; j < config_.ports; ++j) {
+        if (!output_buffers_[j].empty()) {
+            deliver(output_buffers_[j].pop());
+        }
+    }
+}
+
+void SwitchSim::step() {
+    step_arrivals();
+    switch (config_.mode) {
+        case SwitchMode::kVoq:
+            step_voq_mode();
+            break;
+        case SwitchMode::kFifo:
+            step_fifo_mode();
+            break;
+        case SwitchMode::kOutputBuffered:
+            step_outbuf_mode();
+            break;
+    }
+    ++slot_;
+}
+
+SimResult SwitchSim::run() {
+    while (slot_ < config_.slots) step();
+    return result();
+}
+
+SimResult SwitchSim::result() const {
+    SimResult r;
+    r.mean_delay = metrics_.delay_stat().mean();
+    r.p50_delay = static_cast<double>(metrics_.delay_histogram().percentile(0.50));
+    r.p99_delay = static_cast<double>(metrics_.delay_histogram().percentile(0.99));
+    r.max_delay = metrics_.delay_stat().count() ? metrics_.delay_stat().max() : 0.0;
+    r.offered_load = traffic_->offered_load();
+    r.generated = metrics_.generated();
+    r.delivered = metrics_.delivered();
+    r.dropped = metrics_.dropped();
+    r.measured = metrics_.measured();
+    r.fabric_blocked = fabric_blocked_;
+    r.mean_choices =
+        choices_slots_ ? choices_accum_ / static_cast<double>(choices_slots_)
+                       : 0.0;
+    r.ports = config_.ports;
+    const std::uint64_t measured_slots =
+        slot_ > config_.warmup_slots ? slot_ - config_.warmup_slots : 0;
+    r.throughput =
+        measured_slots == 0
+            ? 0.0
+            : static_cast<double>(departed_after_warmup_) /
+                  (static_cast<double>(measured_slots) *
+                   static_cast<double>(config_.ports));
+    if (metrics_.has_service_matrix()) {
+        r.service.resize(config_.ports * config_.ports);
+        for (std::size_t i = 0; i < config_.ports; ++i) {
+            for (std::size_t j = 0; j < config_.ports; ++j) {
+                r.service[i * config_.ports + j] = metrics_.service(i, j);
+            }
+        }
+    }
+    return r;
+}
+
+}  // namespace lcf::sim

@@ -1,0 +1,147 @@
+#pragma once
+// The slot-synchronous switch simulator of §6.3 (Figure 11):
+//
+//   PG ──► PQ ──► VOQ bank ──► crossbar (scheduler-driven) ──► output link
+//
+// plus the two alternative architectures of Figure 12: a FIFO
+// input-queued switch (head-of-line blocking baseline) and an
+// output-buffered switch (contention only at the output link).
+//
+// Each simulated slot performs: arrivals → PQ-to-VOQ transfer →
+// scheduling → packet transfer. A packet generated in slot t that is
+// forwarded immediately departs at the end of slot t, giving the minimum
+// queuing delay of 1 slot. Clint's three-stage pipeline (§4.1) adds a
+// constant two slots on top of every delay and is therefore omitted from
+// the comparative simulation, exactly as in the paper.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fabric/clos.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/metrics.hpp"
+#include "sim/packet_queue.hpp"
+#include "sim/voq.hpp"
+#include "traffic/traffic.hpp"
+
+namespace lcf::sim {
+
+/// Which of the three switch architectures to simulate.
+enum class SwitchMode {
+    kVoq,             ///< VOQ input-buffered switch driven by a Scheduler
+    kFifo,            ///< single FIFO per input (the paper's `fifo`)
+    kOutputBuffered,  ///< ideal output-buffered switch (the paper's `outbuf`)
+};
+
+/// Simulation parameters. Defaults are the paper's Figure 12 settings.
+struct SimConfig {
+    std::size_t ports = 16;
+    std::size_t voq_capacity = 256;    ///< entries per VOQ
+    std::size_t pq_capacity = 1000;    ///< entries per packet queue
+    std::size_t fifo_capacity = 1000;  ///< per-input FIFO in kFifo mode
+    std::size_t outbuf_capacity = 256; ///< per-output buffer in kOutputBuffered
+    std::uint64_t slots = 100000;      ///< simulated slots
+    std::uint64_t warmup_slots = 10000;  ///< excluded from statistics
+    std::uint64_t seed = 42;
+    SwitchMode mode = SwitchMode::kVoq;
+    bool record_service_matrix = false;  ///< per-flow delivery counts
+
+    /// Crossbar speedup s (kVoq mode only): the scheduler runs s times
+    /// per slot and up to s packets may be forwarded from each input
+    /// and to each output per slot; forwarded packets land in per-
+    /// output buffers (outbuf_capacity) drained at line rate. s = 1 is
+    /// the paper's model (packets cross straight onto the link). The
+    /// classic result this knob demonstrates: a VOQ switch with s = 2
+    /// closely approaches output-buffered delay.
+    std::size_t speedup = 1;
+
+    /// Fabric selection (§2 allows non-blocking fabrics other than the
+    /// crossbar). 0 = ideal crossbar. A positive value routes every
+    /// matching through a three-stage Clos network with that many
+    /// middle switches and `clos_group` ports per ingress/egress
+    /// switch; with clos_middle >= clos_group the Clos fabric is
+    /// rearrangeably non-blocking and behaves exactly like the
+    /// crossbar, while smaller values block some connections (their
+    /// packets stay queued and `SimResult::fabric_blocked` counts
+    /// them).
+    std::size_t clos_middle = 0;
+    std::size_t clos_group = 4;  ///< k: ports per first/third-stage switch
+};
+
+/// One switch simulation. Construct, then either run() to completion or
+/// step() slot by slot (the introspection accessors support white-box
+/// tests). The scheduler is unused (and may be null) in kOutputBuffered
+/// mode.
+class SwitchSim {
+public:
+    SwitchSim(const SimConfig& config,
+              std::unique_ptr<sched::Scheduler> scheduler,
+              std::unique_ptr<traffic::TrafficGenerator> traffic);
+
+    /// Advance the simulation by one slot.
+    void step();
+    /// Run the configured number of slots and return the summary.
+    SimResult run();
+
+    /// Slots simulated so far.
+    [[nodiscard]] std::uint64_t current_slot() const noexcept { return slot_; }
+    /// Summary of everything measured so far.
+    [[nodiscard]] SimResult result() const;
+
+    [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const MetricsCollector& metrics() const noexcept {
+        return metrics_;
+    }
+    /// VOQ bank of `input` (kVoq mode only).
+    [[nodiscard]] const VoqBank& voq(std::size_t input) const noexcept {
+        return voqs_[input];
+    }
+    /// Packet queue of `input` (kVoq mode), or its FIFO (kFifo mode).
+    [[nodiscard]] const PacketQueue& input_queue(std::size_t input) const noexcept {
+        return input_queues_[input];
+    }
+    /// Output buffer of `output` (kOutputBuffered mode only).
+    [[nodiscard]] const PacketQueue& output_buffer(std::size_t output) const noexcept {
+        return output_buffers_[output];
+    }
+    /// The matching applied in the most recent slot (kVoq/kFifo modes).
+    [[nodiscard]] const sched::Matching& last_matching() const noexcept {
+        return matching_;
+    }
+
+private:
+    void step_arrivals();
+    void step_voq_mode();
+    void step_fifo_mode();
+    void step_outbuf_mode();
+    void deliver(const Packet& p);
+    /// Route matching_ through the Clos fabric (if configured),
+    /// unmatching any connection the fabric cannot carry.
+    void apply_fabric();
+
+    SimConfig config_;
+    std::unique_ptr<sched::Scheduler> scheduler_;
+    std::unique_ptr<traffic::TrafficGenerator> traffic_;
+    MetricsCollector metrics_;
+
+    std::vector<PacketQueue> input_queues_;   // PQ (kVoq) or FIFO (kFifo)
+    std::vector<VoqBank> voqs_;               // kVoq only
+    std::vector<PacketQueue> output_buffers_; // kOutputBuffered only
+
+    sched::RequestMatrix requests_;
+    sched::Matching matching_;
+    std::vector<std::uint32_t> queue_lengths_;  // scratch for iLQF-style schedulers
+
+    std::optional<fabric::ClosNetwork> clos_;
+    std::uint64_t fabric_blocked_ = 0;
+    double choices_accum_ = 0.0;     // sum over post-warm-up slots of
+    std::uint64_t choices_slots_ = 0;  // mean non-empty VOQs per input
+
+    std::uint64_t slot_ = 0;
+    std::uint64_t next_packet_id_ = 0;
+    std::uint64_t departed_after_warmup_ = 0;
+};
+
+}  // namespace lcf::sim

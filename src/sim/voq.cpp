@@ -1,0 +1,31 @@
+#include "sim/voq.hpp"
+
+namespace lcf::sim {
+
+VoqBank::VoqBank(std::size_t outputs, std::size_t capacity)
+    : queues_(outputs, PacketQueue(capacity)) {}
+
+bool VoqBank::push(const Packet& p) noexcept {
+    return queues_[p.destination].push(p);
+}
+
+util::BitVec VoqBank::request_vector() const {
+    util::BitVec v(queues_.size());
+    fill_request_vector(v);
+    return v;
+}
+
+void VoqBank::fill_request_vector(util::BitVec& out) const noexcept {
+    out.clear();
+    for (std::size_t j = 0; j < queues_.size(); ++j) {
+        if (!queues_[j].empty()) out.set(j);
+    }
+}
+
+std::size_t VoqBank::total_buffered() const noexcept {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+}
+
+}  // namespace lcf::sim

@@ -1,0 +1,47 @@
+#pragma once
+// The virtual-output-queue bank of one input port: one bounded FIFO per
+// output, plus the occupancy bit vector the scheduler's request matrix is
+// built from.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/packet_queue.hpp"
+#include "util/bitvec.hpp"
+
+namespace lcf::sim {
+
+/// Per-input VOQ bank: `outputs` bounded FIFOs.
+class VoqBank {
+public:
+    VoqBank() = default;
+    /// One queue of `capacity` entries per output.
+    VoqBank(std::size_t outputs, std::size_t capacity);
+
+    [[nodiscard]] std::size_t outputs() const noexcept { return queues_.size(); }
+
+    /// Queue holding packets destined for `output`.
+    [[nodiscard]] const PacketQueue& queue(std::size_t output) const noexcept {
+        return queues_[output];
+    }
+    [[nodiscard]] PacketQueue& queue(std::size_t output) noexcept {
+        return queues_[output];
+    }
+
+    /// Enqueue into the destination's queue; false (drop) when full.
+    bool push(const Packet& p) noexcept;
+
+    /// Occupancy bits: bit j set iff queue j is non-empty — exactly the
+    /// request vector this input sends to the scheduler.
+    [[nodiscard]] util::BitVec request_vector() const;
+    /// Write occupancy bits into `out` (which must have size outputs()).
+    void fill_request_vector(util::BitVec& out) const noexcept;
+
+    /// Total packets buffered across all queues.
+    [[nodiscard]] std::size_t total_buffered() const noexcept;
+
+private:
+    std::vector<PacketQueue> queues_;
+};
+
+}  // namespace lcf::sim

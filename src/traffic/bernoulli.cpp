@@ -1,0 +1,31 @@
+#include "traffic/bernoulli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcf::traffic {
+
+BernoulliUniform::BernoulliUniform(double load) : load_(load) {
+    if (load < 0.0 || load > 1.0) {
+        throw std::invalid_argument("load must be in [0, 1]");
+    }
+}
+
+void BernoulliUniform::reset(std::size_t inputs, std::size_t outputs,
+                             std::uint64_t seed) {
+    outputs_ = outputs;
+    rng_.clear();
+    rng_.reserve(inputs);
+    for (std::size_t i = 0; i < inputs; ++i) {
+        rng_.emplace_back(util::derive_seed(seed, i));
+    }
+}
+
+std::int32_t BernoulliUniform::arrival(std::size_t input,
+                                       std::uint64_t /*slot*/) {
+    auto& rng = rng_[input];
+    if (!rng.next_bool(load_)) return kNoArrival;
+    return static_cast<std::int32_t>(rng.next_below(outputs_));
+}
+
+}  // namespace lcf::traffic

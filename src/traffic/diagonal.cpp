@@ -1,0 +1,32 @@
+#include "traffic/diagonal.hpp"
+
+#include <stdexcept>
+
+namespace lcf::traffic {
+
+DiagonalTraffic::DiagonalTraffic(double load) : load_(load) {
+    if (load < 0.0 || load > 1.0) {
+        throw std::invalid_argument("load must be in [0, 1]");
+    }
+}
+
+void DiagonalTraffic::reset(std::size_t inputs, std::size_t outputs,
+                            std::uint64_t seed) {
+    outputs_ = outputs;
+    rng_.clear();
+    rng_.reserve(inputs);
+    for (std::size_t i = 0; i < inputs; ++i) {
+        rng_.emplace_back(util::derive_seed(seed, i));
+    }
+}
+
+std::int32_t DiagonalTraffic::arrival(std::size_t input, std::uint64_t /*slot*/) {
+    auto& rng = rng_[input];
+    if (!rng.next_bool(load_)) return kNoArrival;
+    const std::size_t dst = rng.next_bool(2.0 / 3.0)
+                                ? input % outputs_
+                                : (input + 1) % outputs_;
+    return static_cast<std::int32_t>(dst);
+}
+
+}  // namespace lcf::traffic

@@ -1,0 +1,35 @@
+#pragma once
+// Diagonal traffic: input i sends 2/3 of its packets to output i and 1/3
+// to output (i+1) mod n. Every output is fully loaded as offered load
+// approaches 1, but each input has only two choices — a hard pattern for
+// match-size-oriented schedulers and a standard benchmark in the
+// input-queued switch literature.
+
+#include "traffic/traffic.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lcf::traffic {
+
+/// Two-destination diagonal pattern (2/3 to i, 1/3 to i+1).
+class DiagonalTraffic final : public TrafficGenerator {
+public:
+    explicit DiagonalTraffic(double load);
+
+    void reset(std::size_t inputs, std::size_t outputs,
+               std::uint64_t seed) override;
+    std::int32_t arrival(std::size_t input, std::uint64_t slot) override;
+    [[nodiscard]] double offered_load() const noexcept override { return load_; }
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "diagonal";
+    }
+
+private:
+    double load_;
+    std::size_t outputs_ = 0;
+    std::vector<util::Xoshiro256> rng_;
+};
+
+}  // namespace lcf::traffic

@@ -1,0 +1,40 @@
+#include "traffic/hotspot.hpp"
+
+#include <stdexcept>
+
+namespace lcf::traffic {
+
+HotspotTraffic::HotspotTraffic(double load, double hot_fraction,
+                               std::size_t hot_port)
+    : load_(load), hot_fraction_(hot_fraction), hot_port_(hot_port) {
+    if (load < 0.0 || load > 1.0) {
+        throw std::invalid_argument("load must be in [0, 1]");
+    }
+    if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+        throw std::invalid_argument("hot_fraction must be in [0, 1]");
+    }
+}
+
+void HotspotTraffic::reset(std::size_t inputs, std::size_t outputs,
+                           std::uint64_t seed) {
+    if (hot_port_ >= outputs) {
+        throw std::invalid_argument("hot_port out of range");
+    }
+    outputs_ = outputs;
+    rng_.clear();
+    rng_.reserve(inputs);
+    for (std::size_t i = 0; i < inputs; ++i) {
+        rng_.emplace_back(util::derive_seed(seed, i));
+    }
+}
+
+std::int32_t HotspotTraffic::arrival(std::size_t input, std::uint64_t /*slot*/) {
+    auto& rng = rng_[input];
+    if (!rng.next_bool(load_)) return kNoArrival;
+    if (rng.next_bool(hot_fraction_)) {
+        return static_cast<std::int32_t>(hot_port_);
+    }
+    return static_cast<std::int32_t>(rng.next_below(outputs_));
+}
+
+}  // namespace lcf::traffic

@@ -1,0 +1,27 @@
+#include "traffic/traffic.hpp"
+
+#include <stdexcept>
+
+#include "traffic/bernoulli.hpp"
+#include "traffic/bursty.hpp"
+#include "traffic/pareto.hpp"
+#include "traffic/diagonal.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/permutation.hpp"
+
+namespace lcf::traffic {
+
+TrafficGenerator::~TrafficGenerator() = default;
+
+std::unique_ptr<TrafficGenerator> make_traffic(std::string_view name,
+                                               double load) {
+    if (name == "uniform") return std::make_unique<BernoulliUniform>(load);
+    if (name == "bursty") return std::make_unique<BurstyTraffic>(load);
+    if (name == "pareto") return std::make_unique<ParetoBurstTraffic>(load);
+    if (name == "hotspot") return std::make_unique<HotspotTraffic>(load);
+    if (name == "diagonal") return std::make_unique<DiagonalTraffic>(load);
+    if (name == "permutation") return std::make_unique<PermutationTraffic>(load);
+    throw std::invalid_argument("unknown traffic name: " + std::string(name));
+}
+
+}  // namespace lcf::traffic

@@ -1,0 +1,48 @@
+#pragma once
+// Traffic generation interface. The paper's Figure 12 uses Bernoulli
+// arrivals with uniformly distributed destinations; the other generators
+// here support the ablation benches (bursty, hotspot, diagonal,
+// permutation, trace replay).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace lcf::traffic {
+
+/// Sentinel returned by TrafficGenerator::arrival when no packet arrives.
+inline constexpr std::int32_t kNoArrival = -1;
+
+/// One traffic pattern. reset() is called once per simulation with the
+/// switch geometry and a seed; arrival() is then called once per (slot,
+/// input) in nondecreasing slot order and returns the destination port of
+/// the packet generated at that input in that slot, or kNoArrival.
+class TrafficGenerator {
+public:
+    virtual ~TrafficGenerator();
+
+    /// Prepare for a run over an `inputs` × `outputs` switch. Generators
+    /// derive independent per-input streams from `seed`.
+    virtual void reset(std::size_t inputs, std::size_t outputs,
+                       std::uint64_t seed) = 0;
+
+    /// Destination of the packet generated at `input` in `slot`, or
+    /// kNoArrival.
+    virtual std::int32_t arrival(std::size_t input, std::uint64_t slot) = 0;
+
+    /// Mean offered load per input in [0, 1] (packets per slot).
+    [[nodiscard]] virtual double offered_load() const noexcept = 0;
+
+    /// Stable identifier, e.g. "uniform" or "bursty".
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Construct a generator by name: "uniform", "bursty", "hotspot",
+/// "diagonal", "permutation". `load` is the per-input offered load.
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<TrafficGenerator> make_traffic(std::string_view name,
+                                               double load);
+
+}  // namespace lcf::traffic

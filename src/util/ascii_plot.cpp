@@ -1,0 +1,114 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lcf::util {
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_(std::max<std::size_t>(width, 16)),
+      height_(std::max<std::size_t>(height, 6)) {}
+
+void AsciiPlot::add_series(PlotSeries series) {
+    series_.push_back(std::move(series));
+}
+
+void AsciiPlot::print(std::ostream& out) const {
+    double min_x = std::numeric_limits<double>::infinity();
+    double max_x = -std::numeric_limits<double>::infinity();
+    double min_y = std::numeric_limits<double>::infinity();
+    double max_y = -std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (const auto& s : series_) {
+        for (const auto& [x, y] : s.points) {
+            min_x = std::min(min_x, x);
+            max_x = std::max(max_x, x);
+            min_y = std::min(min_y, y);
+            max_y = std::max(max_y, y);
+            any = true;
+        }
+    }
+    if (!any) {
+        out << "(empty plot)\n";
+        return;
+    }
+    if (y_limit_) max_y = std::min(max_y, *y_limit_);
+    min_y = std::min(min_y, max_y);
+    if (max_x == min_x) max_x = min_x + 1;
+    if (max_y == min_y) max_y = min_y + 1;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    const auto col_of = [&](double x) {
+        const double t = (x - min_x) / (max_x - min_x);
+        return std::min(width_ - 1,
+                        static_cast<std::size_t>(std::lround(
+                            t * static_cast<double>(width_ - 1))));
+    };
+    const auto row_of = [&](double y) {
+        const double clamped = std::min(y, max_y);
+        const double t = (clamped - min_y) / (max_y - min_y);
+        const auto from_bottom = static_cast<std::size_t>(std::lround(
+            t * static_cast<double>(height_ - 1)));
+        return height_ - 1 - std::min(height_ - 1, from_bottom);
+    };
+
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        const char marker = static_cast<char>('a' + (si % 26));
+        // Sort points by x and connect consecutive samples with linear
+        // interpolation so curves read as lines, not scatter.
+        auto pts = series_[si].points;
+        std::sort(pts.begin(), pts.end());
+        for (std::size_t k = 0; k < pts.size(); ++k) {
+            const auto [x, y] = pts[k];
+            grid[row_of(y)][col_of(x)] = marker;
+            if (k + 1 < pts.size()) {
+                const auto [x2, y2] = pts[k + 1];
+                const std::size_t c1 = col_of(x);
+                const std::size_t c2 = col_of(x2);
+                for (std::size_t c = c1 + 1; c < c2; ++c) {
+                    const double t =
+                        (static_cast<double>(c) - static_cast<double>(c1)) /
+                        (static_cast<double>(c2) - static_cast<double>(c1));
+                    const double yi = y + t * (y2 - y);
+                    auto& cell = grid[row_of(yi)][c];
+                    if (cell == ' ') cell = marker;
+                }
+            }
+        }
+    }
+
+    char buf[32];
+    if (!y_label_.empty()) out << y_label_ << '\n';
+    for (std::size_t r = 0; r < height_; ++r) {
+        const double y =
+            max_y - (max_y - min_y) * static_cast<double>(r) /
+                        static_cast<double>(height_ - 1);
+        if (r % 4 == 0 || r == height_ - 1) {
+            std::snprintf(buf, sizeof(buf), "%8.2f |", y);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%8s |", "");
+        }
+        out << buf << grid[r] << '\n';
+    }
+    out << std::string(9, ' ') << '+' << std::string(width_, '-') << '\n';
+    std::snprintf(buf, sizeof(buf), "%8.2f", min_x);
+    out << ' ' << buf;
+    std::snprintf(buf, sizeof(buf), "%.2f", max_x);
+    const std::string right(buf);
+    const std::size_t pad =
+        width_ > right.size() + 1 ? width_ - right.size() - 1 : 1;
+    out << std::string(pad, ' ') << right;
+    if (!x_label_.empty()) out << "  " << x_label_;
+    out << '\n';
+
+    out << "  legend:";
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        out << ' ' << static_cast<char>('a' + (si % 26)) << '='
+            << series_[si].label;
+    }
+    out << '\n';
+}
+
+}  // namespace lcf::util

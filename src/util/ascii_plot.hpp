@@ -1,0 +1,51 @@
+#pragma once
+// Terminal line plots: multiple (x, y) series rendered on a character
+// grid with axes and a legend. Used by the figure-regenerating bench
+// harnesses so Figure 12 comes out as an actual figure, not only as a
+// table.
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lcf::util {
+
+/// One plotted series: a label and its sample points.
+struct PlotSeries {
+    std::string label;
+    std::vector<std::pair<double, double>> points;
+};
+
+/// Renders series as an ASCII chart. Each series is drawn with its own
+/// marker character ('a', 'b', ...; the legend maps markers to labels).
+/// Overlapping points show the later series' marker.
+class AsciiPlot {
+public:
+    /// `width` × `height` interior plotting area in characters.
+    AsciiPlot(std::size_t width = 72, std::size_t height = 24);
+
+    /// Add one series (drawn in insertion order).
+    void add_series(PlotSeries series);
+
+    /// Optional axis titles.
+    void x_label(std::string label) { x_label_ = std::move(label); }
+    void y_label(std::string label) { y_label_ = std::move(label); }
+    /// Clamp the plotted y range (e.g. to mirror a published figure's
+    /// axis limits); points above are clipped to the top row.
+    void y_limit(double max_y) { y_limit_ = max_y; }
+
+    /// Render the chart with axes, tick labels, and legend.
+    void print(std::ostream& out) const;
+
+private:
+    std::size_t width_;
+    std::size_t height_;
+    std::vector<PlotSeries> series_;
+    std::string x_label_;
+    std::string y_label_;
+    std::optional<double> y_limit_;
+};
+
+}  // namespace lcf::util

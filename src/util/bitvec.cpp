@@ -1,0 +1,111 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace lcf::util {
+
+BitVec::BitVec(std::size_t size) : size_(size), words_(word_count(), 0) {}
+
+bool BitVec::test(std::size_t i) const noexcept {
+    assert(i < size_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
+}
+
+void BitVec::set(std::size_t i, bool value) noexcept {
+    assert(i < size_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+    if (value) {
+        words_[i / kWordBits] |= mask;
+    } else {
+        words_[i / kWordBits] &= ~mask;
+    }
+}
+
+void BitVec::reset(std::size_t i) noexcept { set(i, false); }
+
+void BitVec::clear() noexcept {
+    for (auto& w : words_) w = 0;
+}
+
+void BitVec::fill() noexcept {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trim();
+}
+
+void BitVec::trim() noexcept {
+    const std::size_t tail = size_ % kWordBits;
+    if (tail != 0 && !words_.empty()) {
+        words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+}
+
+std::size_t BitVec::count() const noexcept {
+    std::size_t total = 0;
+    for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+}
+
+bool BitVec::none() const noexcept {
+    for (const auto w : words_) {
+        if (w != 0) return false;
+    }
+    return true;
+}
+
+std::size_t BitVec::find_first() const noexcept {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+        if (words_[wi] != 0) {
+            return wi * kWordBits +
+                   static_cast<std::size_t>(std::countr_zero(words_[wi]));
+        }
+    }
+    return npos;
+}
+
+std::size_t BitVec::find_next(std::size_t pos) const noexcept {
+    if (pos + 1 >= size_) return npos;
+    std::size_t wi = (pos + 1) / kWordBits;
+    const std::size_t bi = (pos + 1) % kWordBits;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << bi);
+    while (true) {
+        if (w != 0) {
+            return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+        }
+        if (++wi >= words_.size()) return npos;
+        w = words_[wi];
+    }
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) noexcept {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) noexcept {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) noexcept {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+}
+
+BitVec& BitVec::subtract(const BitVec& other) noexcept {
+    assert(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+}
+
+std::string BitVec::to_string() const {
+    std::string s;
+    s.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) s.push_back(test(i) ? '1' : '0');
+    return s;
+}
+
+}  // namespace lcf::util

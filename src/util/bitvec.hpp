@@ -1,0 +1,80 @@
+#pragma once
+// Dynamic fixed-capacity bit vector used for request-matrix rows and
+// port masks. Sized at construction; word-parallel set operations and
+// fast first-set/next-set scans are the operations the schedulers need.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcf::util {
+
+/// A fixed-size vector of bits with word-parallel bulk operations.
+///
+/// Unlike std::vector<bool> it exposes find_first()/find_next() scans and
+/// set-algebra operators, and unlike std::bitset its size is a runtime
+/// value (switch radix n is a configuration parameter everywhere in this
+/// library). Bits beyond size() are kept zero as a class invariant.
+class BitVec {
+public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    BitVec() = default;
+    /// Construct with `size` bits, all cleared.
+    explicit BitVec(std::size_t size);
+
+    /// Number of addressable bits.
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    /// True when size() == 0.
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    /// Read bit `i` (precondition: i < size()).
+    [[nodiscard]] bool test(std::size_t i) const noexcept;
+    /// Set bit `i` to `value` (precondition: i < size()).
+    void set(std::size_t i, bool value = true) noexcept;
+    /// Clear bit `i` (precondition: i < size()).
+    void reset(std::size_t i) noexcept;
+    /// Clear all bits.
+    void clear() noexcept;
+    /// Set all bits in [0, size()).
+    void fill() noexcept;
+
+    /// Number of set bits.
+    [[nodiscard]] std::size_t count() const noexcept;
+    /// True when no bit is set.
+    [[nodiscard]] bool none() const noexcept;
+    /// True when at least one bit is set.
+    [[nodiscard]] bool any() const noexcept { return !none(); }
+
+    /// Index of the lowest set bit, or npos when none() holds.
+    [[nodiscard]] std::size_t find_first() const noexcept;
+    /// Index of the lowest set bit strictly greater than `pos`, or npos.
+    [[nodiscard]] std::size_t find_next(std::size_t pos) const noexcept;
+
+    /// In-place set intersection; both operands must have equal size.
+    BitVec& operator&=(const BitVec& other) noexcept;
+    /// In-place set union; both operands must have equal size.
+    BitVec& operator|=(const BitVec& other) noexcept;
+    /// In-place symmetric difference; both operands must have equal size.
+    BitVec& operator^=(const BitVec& other) noexcept;
+    /// In-place set subtraction (this &= ~other); equal sizes required.
+    BitVec& subtract(const BitVec& other) noexcept;
+
+    friend bool operator==(const BitVec& a, const BitVec& b) noexcept = default;
+
+    /// "0101..." rendering, bit 0 first; for diagnostics and tests.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    static constexpr std::size_t kWordBits = 64;
+    [[nodiscard]] std::size_t word_count() const noexcept {
+        return (size_ + kWordBits - 1) / kWordBits;
+    }
+    void trim() noexcept;  // re-establish the bits-beyond-size()-are-zero invariant
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lcf::util

@@ -1,0 +1,150 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <iostream>
+
+namespace lcf::util {
+
+CliParser& CliParser::add(std::string name, std::string help, Kind kind,
+                          void* storage, std::string default_repr) {
+    options_.push_back(Option{std::move(name), std::move(help), kind, storage,
+                              std::move(default_repr)});
+    return *this;
+}
+
+CliParser& CliParser::flag(std::string name, std::string help,
+                           std::string* storage) {
+    return add(std::move(name), std::move(help), Kind::kString, storage, *storage);
+}
+CliParser& CliParser::flag(std::string name, std::string help, double* storage) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", *storage);
+    return add(std::move(name), std::move(help), Kind::kDouble, storage, buf);
+}
+CliParser& CliParser::flag(std::string name, std::string help,
+                           std::int64_t* storage) {
+    return add(std::move(name), std::move(help), Kind::kInt, storage,
+               std::to_string(*storage));
+}
+CliParser& CliParser::flag(std::string name, std::string help,
+                           std::uint64_t* storage) {
+    return add(std::move(name), std::move(help), Kind::kUint, storage,
+               std::to_string(*storage));
+}
+CliParser& CliParser::flag(std::string name, std::string help, bool* storage) {
+    return add(std::move(name), std::move(help), Kind::kBool, storage,
+               *storage ? "true" : "false");
+}
+
+const CliParser::Option* CliParser::find(std::string_view name) const {
+    for (const auto& o : options_) {
+        if (o.name == name) return &o;
+    }
+    return nullptr;
+}
+
+bool CliParser::assign(const Option& opt, std::string_view value) {
+    switch (opt.kind) {
+        case Kind::kString:
+            *static_cast<std::string*>(opt.storage) = std::string(value);
+            return true;
+        case Kind::kDouble: {
+            double v{};
+            const auto [p, ec] =
+                std::from_chars(value.data(), value.data() + value.size(), v);
+            if (ec != std::errc{} || p != value.data() + value.size()) return false;
+            *static_cast<double*>(opt.storage) = v;
+            return true;
+        }
+        case Kind::kInt: {
+            std::int64_t v{};
+            const auto [p, ec] =
+                std::from_chars(value.data(), value.data() + value.size(), v);
+            if (ec != std::errc{} || p != value.data() + value.size()) return false;
+            *static_cast<std::int64_t*>(opt.storage) = v;
+            return true;
+        }
+        case Kind::kUint: {
+            std::uint64_t v{};
+            const auto [p, ec] =
+                std::from_chars(value.data(), value.data() + value.size(), v);
+            if (ec != std::errc{} || p != value.data() + value.size()) return false;
+            *static_cast<std::uint64_t*>(opt.storage) = v;
+            return true;
+        }
+        case Kind::kBool: {
+            if (value == "true" || value == "1" || value == "yes") {
+                *static_cast<bool*>(opt.storage) = true;
+                return true;
+            }
+            if (value == "false" || value == "0" || value == "no") {
+                *static_cast<bool*>(opt.storage) = false;
+                return true;
+            }
+            return false;
+        }
+    }
+    return false;
+}
+
+void CliParser::print_help(std::string_view argv0) const {
+    std::cout << description_ << "\n\nUsage: " << argv0 << " [options]\n\nOptions:\n";
+    for (const auto& o : options_) {
+        std::cout << "  --" << o.name;
+        if (o.kind != Kind::kBool) std::cout << " <value>";
+        std::cout << "\n        " << o.help << " (default: " << o.default_repr
+                  << ")\n";
+    }
+    std::cout << "  --help\n        Show this message.\n";
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            print_help(argv[0]);
+            exit_code_ = 0;
+            return false;
+        }
+        if (!arg.starts_with("--")) {
+            std::cerr << "error: unexpected positional argument '" << arg << "'\n";
+            exit_code_ = 2;
+            return false;
+        }
+        arg.remove_prefix(2);
+        std::string_view name = arg;
+        std::optional<std::string_view> inline_value;
+        if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+            name = arg.substr(0, eq);
+            inline_value = arg.substr(eq + 1);
+        }
+        const Option* opt = find(name);
+        if (opt == nullptr) {
+            std::cerr << "error: unknown option '--" << name << "'\n";
+            exit_code_ = 2;
+            return false;
+        }
+        std::string_view value;
+        if (inline_value) {
+            value = *inline_value;
+        } else if (opt->kind == Kind::kBool) {
+            value = "true";  // bare boolean flag
+        } else if (i + 1 < argc) {
+            value = argv[++i];
+        } else {
+            std::cerr << "error: option '--" << name << "' expects a value\n";
+            exit_code_ = 2;
+            return false;
+        }
+        if (!assign(*opt, value)) {
+            std::cerr << "error: invalid value '" << value << "' for '--" << name
+                      << "'\n";
+            exit_code_ = 2;
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace lcf::util

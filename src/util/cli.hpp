@@ -1,0 +1,57 @@
+#pragma once
+// Tiny command-line option parser for the examples and bench harnesses.
+// Supports --name value and --name=value forms plus --help generation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcf::util {
+
+/// Declarative flag registry: register options with defaults and help
+/// strings, then parse(argc, argv). Unknown options are reported as errors.
+class CliParser {
+public:
+    explicit CliParser(std::string program_description)
+        : description_(std::move(program_description)) {}
+
+    /// Register an option; `storage` must outlive parse(). Returns *this
+    /// for chaining.
+    CliParser& flag(std::string name, std::string help, std::string* storage);
+    CliParser& flag(std::string name, std::string help, double* storage);
+    CliParser& flag(std::string name, std::string help, std::int64_t* storage);
+    CliParser& flag(std::string name, std::string help, std::uint64_t* storage);
+    CliParser& flag(std::string name, std::string help, bool* storage);
+
+    /// Parse argv. Returns true on success; on --help prints usage and
+    /// returns false; on error prints a diagnostic to stderr and returns
+    /// false with exit_code() == 2.
+    bool parse(int argc, const char* const* argv);
+
+    /// 0 after --help, 2 after a parse error, 0 otherwise.
+    [[nodiscard]] int exit_code() const noexcept { return exit_code_; }
+
+private:
+    enum class Kind { kString, kDouble, kInt, kUint, kBool };
+    struct Option {
+        std::string name;
+        std::string help;
+        Kind kind;
+        void* storage;
+        std::string default_repr;
+    };
+
+    CliParser& add(std::string name, std::string help, Kind kind, void* storage,
+                   std::string default_repr);
+    [[nodiscard]] const Option* find(std::string_view name) const;
+    bool assign(const Option& opt, std::string_view value);
+    void print_help(std::string_view argv0) const;
+
+    std::string description_;
+    std::vector<Option> options_;
+    int exit_code_ = 0;
+};
+
+}  // namespace lcf::util

@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lcf::util {
+
+std::string CsvWriter::to_cell(double v) {
+    if (std::nearbyint(v) == v && std::abs(v) < 1e15) {
+        return std::to_string(static_cast<long long>(v));
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void CsvWriter::write_cell(const std::string& cell, bool first) {
+    if (!first) out_ << ',';
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+        out_ << cell;
+        return;
+    }
+    out_ << '"';
+    for (const char c : cell) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+    }
+    out_ << '"';
+}
+
+void CsvWriter::row_vec(const std::vector<std::string>& cells) {
+    bool first = true;
+    for (const auto& c : cells) {
+        write_cell(c, first);
+        first = false;
+    }
+    out_ << '\n';
+}
+
+}  // namespace lcf::util

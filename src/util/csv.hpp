@@ -1,0 +1,47 @@
+#pragma once
+// Minimal CSV emission for benchmark harnesses (quoting per RFC 4180).
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcf::util {
+
+/// Streams rows of comma-separated values with correct quoting.
+/// Usage: CsvWriter w(out); w.row("load", "latency"); w.row(0.5, 1.73);
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+    /// Emit one row; each argument becomes a cell (numbers via to_string,
+    /// strings quoted when they contain separators).
+    template <typename... Cells>
+    void row(const Cells&... cells) {
+        bool first = true;
+        ((write_cell(to_cell(cells), first), first = false), ...);
+        out_ << '\n';
+    }
+
+    /// Emit a row from a vector of preformatted cells.
+    void row_vec(const std::vector<std::string>& cells);
+
+private:
+    static std::string to_cell(const std::string& s) { return s; }
+    static std::string to_cell(std::string_view s) { return std::string(s); }
+    static std::string to_cell(const char* s) { return std::string(s); }
+    static std::string to_cell(double v);
+    static std::string to_cell(float v) { return to_cell(static_cast<double>(v)); }
+    template <typename T>
+    static std::string to_cell(T v)
+        requires std::is_integral_v<T>
+    {
+        return std::to_string(v);
+    }
+
+    void write_cell(const std::string& cell, bool first);
+
+    std::ostream& out_;
+};
+
+}  // namespace lcf::util

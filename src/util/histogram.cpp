@@ -1,0 +1,47 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lcf::util {
+
+Histogram::Histogram(std::size_t capacity) : buckets_(capacity, 0) {}
+
+void Histogram::add(std::uint64_t value) noexcept {
+    if (value < buckets_.size()) {
+        ++buckets_[value];
+    } else {
+        ++overflow_;
+    }
+    ++count_;
+    total_ += static_cast<double>(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+    assert(buckets_.size() == other.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
+double Histogram::mean() const noexcept {
+    return count_ ? total_ / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t v = 0; v < buckets_.size(); ++v) {
+        seen += buckets_[v];
+        if (seen >= target) return v;
+    }
+    return buckets_.size();
+}
+
+}  // namespace lcf::util

@@ -1,0 +1,49 @@
+#pragma once
+// Integer-valued histogram with exact low range and saturating overflow
+// bucket; used for queue-occupancy and packet-delay distributions.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lcf::util {
+
+/// Histogram over non-negative integer samples. Values in [0, capacity)
+/// are counted exactly; larger values accumulate in an overflow bucket
+/// (still contributing their exact value to mean/percentile interpolation
+/// bounds via total_/count_ bookkeeping).
+class Histogram {
+public:
+    /// `capacity` exact buckets (one per integer value).
+    explicit Histogram(std::size_t capacity = 1024);
+
+    /// Record one sample.
+    void add(std::uint64_t value) noexcept;
+    /// Merge another histogram of the same capacity.
+    void merge(const Histogram& other);
+
+    /// Total number of samples recorded.
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    /// Exact mean over all samples (overflowed values included exactly).
+    [[nodiscard]] double mean() const noexcept;
+    /// Samples that landed in the overflow bucket.
+    [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+    /// Count for exact bucket `v` (precondition: v < capacity()).
+    [[nodiscard]] std::uint64_t bucket(std::size_t v) const noexcept {
+        return buckets_[v];
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept { return buckets_.size(); }
+
+    /// Smallest value v such that at least `q` (in [0,1]) of the samples
+    /// are <= v. Overflowed samples are treated as capacity(). Returns 0
+    /// when empty.
+    [[nodiscard]] std::uint64_t percentile(double q) const noexcept;
+
+private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t overflow_ = 0;
+    double total_ = 0.0;
+};
+
+}  // namespace lcf::util

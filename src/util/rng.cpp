@@ -1,0 +1,18 @@
+#include "util/rng.hpp"
+
+namespace lcf::util {
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift with rejection on the low word.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+        const std::uint64_t x = (*this)();
+        const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        const auto low = static_cast<std::uint64_t>(m);
+        if (low >= threshold) {
+            return static_cast<std::uint64_t>(m >> 64);
+        }
+    }
+}
+
+}  // namespace lcf::util

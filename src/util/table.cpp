@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lcf::util {
+
+void AsciiTable::header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::num(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void AsciiTable::print(std::ostream& out) const {
+    std::size_t cols = header_.size();
+    for (const auto& r : rows_) cols = std::max(cols, r.size());
+    std::vector<std::size_t> widths(cols, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string& cell = i < row.size() ? row[i] : std::string{};
+            out << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < cols) out << "  ";
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        print_row(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cols; ++i) total += widths[i] + (i + 1 < cols ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace lcf::util

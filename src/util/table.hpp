@@ -1,0 +1,29 @@
+#pragma once
+// Fixed-width ASCII table rendering; the benchmark harnesses use it to
+// print paper-style tables (Table 1, Table 2, Figure 12 series).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lcf::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class AsciiTable {
+public:
+    /// Set the header row (may be called once, before rows).
+    void header(std::vector<std::string> cells);
+    /// Append a data row; row lengths may vary (short rows pad with "").
+    void add_row(std::vector<std::string> cells);
+    /// Render with column alignment and a rule under the header.
+    void print(std::ostream& out) const;
+
+    /// Format a double with `precision` digits after the point.
+    static std::string num(double v, int precision = 2);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lcf::util

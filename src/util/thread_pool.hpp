@@ -1,0 +1,62 @@
+#pragma once
+// Fixed-size worker pool with a blocking task queue and a parallel_for
+// helper. The benchmark harnesses use it to run independent
+// (scheduler, load) simulation grid points concurrently.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lcf::util {
+
+/// A minimal thread pool. Tasks are std::function<void()>; submit()
+/// returns a future for completion/exception propagation. The destructor
+/// drains outstanding tasks before joining.
+class ThreadPool {
+public:
+    /// Spawn `threads` workers (0 means hardware_concurrency, min 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue a task; the returned future resolves when it finishes and
+    /// rethrows any exception the task threw.
+    template <typename F>
+    std::future<void> submit(F&& fn) {
+        auto task = std::make_shared<std::packaged_task<void()>>(
+            std::forward<F>(fn));
+        std::future<void> result = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            queue_.emplace([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /// Run fn(i) for every i in [begin, end) across the pool and wait.
+    /// The first exception thrown by any invocation is rethrown here.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace lcf::util

@@ -1,0 +1,138 @@
+// Tests for the analysis layer: the simulator against closed-form
+// queueing theory, and the replication/confidence-interval machinery.
+
+#include <gtest/gtest.h>
+
+#include "analysis/queueing.hpp"
+#include "analysis/replicate.hpp"
+#include "sim/runner.hpp"
+
+namespace lcf::analysis {
+namespace {
+
+TEST(Queueing, OutbufDelayFormulaBasics) {
+    // Zero load: just the transmission slot.
+    EXPECT_DOUBLE_EQ(outbuf_mean_delay(16, 0.0), 1.0);
+    // Single-port "switch": no contention at any load.
+    EXPECT_DOUBLE_EQ(outbuf_mean_delay(1, 0.9), 1.0);
+    // Monotone in load.
+    EXPECT_LT(outbuf_mean_delay(16, 0.5), outbuf_mean_delay(16, 0.9));
+    EXPECT_THROW((void)outbuf_mean_delay(16, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)outbuf_mean_delay(0, 0.5), std::invalid_argument);
+}
+
+TEST(Queueing, SimulatedOutbufMatchesTheory) {
+    // The strongest simulator validation available: the output-buffered
+    // switch is analytically solvable, so simulated delay must match
+    // the closed form within statistical noise across the load range.
+    sim::SimConfig config;
+    config.ports = 16;
+    config.slots = 200000;
+    config.warmup_slots = 20000;
+    for (const double load : {0.2, 0.5, 0.8, 0.9}) {
+        const auto r = sim::run_named("outbuf", config, "uniform", load);
+        const double theory = outbuf_mean_delay(16, load);
+        EXPECT_NEAR(r.mean_delay, theory, theory * 0.03)
+            << "load " << load;
+    }
+}
+
+TEST(Queueing, SimulatedFifoSaturationMatchesKarol) {
+    sim::SimConfig config;
+    config.ports = 16;
+    config.slots = 50000;
+    config.warmup_slots = 5000;
+    const auto r = sim::run_named("fifo", config, "uniform", 1.0);
+    // n = 16 sits between the n = 8 exact value (0.6184) and the
+    // asymptote (0.5858).
+    EXPECT_GT(r.throughput, fifo_saturation_limit() - 0.01);
+    EXPECT_LT(r.throughput, fifo_saturation(8) + 0.01);
+}
+
+TEST(Queueing, FifoSaturationTableIsMonotone) {
+    for (std::size_t n = 2; n <= 8; ++n) {
+        EXPECT_LT(fifo_saturation(n), fifo_saturation(n - 1));
+    }
+    EXPECT_NEAR(fifo_saturation_limit(), 0.5858, 1e-4);
+    EXPECT_DOUBLE_EQ(fifo_saturation(100), fifo_saturation_limit());
+}
+
+TEST(Queueing, PimIterationBound) {
+    EXPECT_NEAR(pim_expected_iterations(16), 4.0 + 4.0 / 3.0, 1e-12);
+    EXPECT_LT(pim_expected_iterations(4), pim_expected_iterations(64));
+}
+
+TEST(Queueing, BandwidthFloor) {
+    EXPECT_DOUBLE_EQ(lcf_rr_bandwidth_floor(16), 1.0 / 256.0);
+    EXPECT_DOUBLE_EQ(lcf_rr_bandwidth_floor(4), 1.0 / 16.0);
+}
+
+TEST(Replicate, TCriticalValues) {
+    EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+    EXPECT_NEAR(t_critical_95(9), 2.262, 1e-3);
+    EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
+    EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-3);
+    EXPECT_THROW((void)t_critical_95(0), std::invalid_argument);
+}
+
+TEST(Replicate, ProducesTightIntervalsAndCoversTheTruth) {
+    sim::SimConfig config;
+    config.ports = 16;
+    config.slots = 20000;
+    config.warmup_slots = 2000;
+    const auto rep = replicate("outbuf", config, "uniform", 0.8, 6);
+    EXPECT_EQ(rep.runs.size(), 6u);
+    EXPECT_EQ(rep.mean_delay.replications, 6u);
+    EXPECT_GT(rep.mean_delay.half_width, 0.0);
+    // The analytic truth lies inside (or very near) the 95 % interval.
+    const double theory = outbuf_mean_delay(16, 0.8);
+    EXPECT_GT(theory, rep.mean_delay.lower() - 0.1);
+    EXPECT_LT(theory, rep.mean_delay.upper() + 0.1);
+    // Throughput interval around the offered load.
+    EXPECT_NEAR(rep.throughput.mean, 0.8, 0.01);
+}
+
+TEST(Replicate, SeedsDifferAcrossReplications) {
+    sim::SimConfig config;
+    config.ports = 8;
+    config.slots = 5000;
+    config.warmup_slots = 500;
+    const auto rep = replicate("islip", config, "uniform", 0.7, 4);
+    bool any_difference = false;
+    for (std::size_t k = 1; k < rep.runs.size(); ++k) {
+        if (rep.runs[k].mean_delay != rep.runs[0].mean_delay) {
+            any_difference = true;
+        }
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Replicate, ClearlyBelowDetectsSeparatedIntervals) {
+    Estimate a{1.0, 0.1, 5};
+    Estimate b{2.0, 0.1, 5};
+    EXPECT_TRUE(a.clearly_below(b));
+    EXPECT_FALSE(b.clearly_below(a));
+    Estimate c{1.15, 0.1, 5};
+    EXPECT_FALSE(a.clearly_below(c));  // overlapping
+}
+
+TEST(Replicate, SignificantOrderingLcfVsPimAtHighLoad) {
+    // The paper's headline with error bars: lcf_central's delay is
+    // significantly below pim's at load 0.9 (non-overlapping 95 % CIs).
+    sim::SimConfig config;
+    config.ports = 16;
+    config.slots = 20000;
+    config.warmup_slots = 2000;
+    const auto lcf = replicate("lcf_central", config, "uniform", 0.9, 5);
+    const auto pim = replicate("pim", config, "uniform", 0.9, 5);
+    EXPECT_TRUE(lcf.mean_delay.clearly_below(pim.mean_delay));
+}
+
+TEST(Replicate, RejectsZeroReplications) {
+    sim::SimConfig config;
+    EXPECT_THROW(replicate("outbuf", config, "uniform", 0.5, 0),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcf::analysis

@@ -1,0 +1,92 @@
+// Tests for the ASCII plot renderer: marker placement, clipping,
+// legend, and degenerate inputs.
+
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lcf::util {
+namespace {
+
+std::string render(AsciiPlot& plot) {
+    std::ostringstream out;
+    plot.print(out);
+    return out.str();
+}
+
+TEST(AsciiPlot, EmptyPlot) {
+    AsciiPlot p;
+    EXPECT_EQ(render(p), "(empty plot)\n");
+}
+
+TEST(AsciiPlot, SingleSeriesAppearsWithMarkerAndLegend) {
+    AsciiPlot p(20, 8);
+    p.add_series({"delay", {{0, 0}, {1, 1}, {2, 2}}});
+    const std::string out = render(p);
+    EXPECT_NE(out.find('a'), std::string::npos);
+    EXPECT_NE(out.find("legend: a=delay"), std::string::npos);
+}
+
+TEST(AsciiPlot, TwoSeriesGetDistinctMarkers) {
+    AsciiPlot p(20, 8);
+    p.add_series({"one", {{0, 0}, {1, 1}}});
+    p.add_series({"two", {{0, 1}, {1, 0}}});
+    const std::string out = render(p);
+    EXPECT_NE(out.find('a'), std::string::npos);
+    EXPECT_NE(out.find('b'), std::string::npos);
+    EXPECT_NE(out.find("a=one"), std::string::npos);
+    EXPECT_NE(out.find("b=two"), std::string::npos);
+}
+
+TEST(AsciiPlot, MonotoneSeriesRendersMonotonically) {
+    AsciiPlot p(30, 10);
+    p.add_series({"line", {{0, 0}, {10, 10}}});
+    const std::string out = render(p);
+    // The first marker row (top of plot) must be to the right of the
+    // last: find 'a' column per line, assert non-increasing rows going
+    // down means columns decrease.
+    std::vector<std::size_t> cols;
+    std::istringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const auto pos = line.find('a');
+        if (pos != std::string::npos && line.find('|') != std::string::npos) {
+            cols.push_back(pos);
+        }
+    }
+    ASSERT_GE(cols.size(), 2u);
+    for (std::size_t k = 1; k < cols.size(); ++k) {
+        EXPECT_LE(cols[k], cols[k - 1]);
+    }
+}
+
+TEST(AsciiPlot, YLimitClipsSpikes) {
+    AsciiPlot p(20, 8);
+    p.y_limit(10.0);
+    p.add_series({"spiky", {{0, 1}, {1, 1e6}}});
+    const std::string out = render(p);
+    // The axis labels must not show 1e6.
+    EXPECT_EQ(out.find("1000000"), std::string::npos);
+    EXPECT_NE(out.find("10.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+    AsciiPlot p(20, 8);
+    p.add_series({"flat", {{0, 5}, {1, 5}, {2, 5}}});
+    EXPECT_NO_FATAL_FAILURE((void)render(p));
+}
+
+TEST(AsciiPlot, AxisLabelsShown) {
+    AsciiPlot p(20, 8);
+    p.x_label("load");
+    p.y_label("latency [slots]");
+    p.add_series({"s", {{0, 0}, {1, 1}}});
+    const std::string out = render(p);
+    EXPECT_NE(out.find("load"), std::string::npos);
+    EXPECT_NE(out.find("latency [slots]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcf::util

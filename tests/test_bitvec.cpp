@@ -1,0 +1,149 @@
+// Unit tests for util::BitVec: bit addressing across word boundaries,
+// scans, set algebra, and the beyond-size()-bits-stay-zero invariant.
+
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace lcf::util {
+namespace {
+
+TEST(BitVec, StartsCleared) {
+    const BitVec v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.count(), 0u);
+    EXPECT_TRUE(v.none());
+    EXPECT_FALSE(v.any());
+    EXPECT_EQ(v.find_first(), BitVec::npos);
+}
+
+TEST(BitVec, SetAndTestAcrossWordBoundaries) {
+    BitVec v(130);
+    for (const std::size_t i : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+        v.set(i);
+        EXPECT_TRUE(v.test(i)) << i;
+    }
+    EXPECT_EQ(v.count(), 8u);
+    v.reset(64);
+    EXPECT_FALSE(v.test(64));
+    EXPECT_EQ(v.count(), 7u);
+}
+
+TEST(BitVec, SetWithValueArgument) {
+    BitVec v(8);
+    v.set(3, true);
+    EXPECT_TRUE(v.test(3));
+    v.set(3, false);
+    EXPECT_FALSE(v.test(3));
+}
+
+TEST(BitVec, FillRespectsSize) {
+    BitVec v(70);
+    v.fill();
+    EXPECT_EQ(v.count(), 70u);
+    // The invariant matters for equality and count on the last word.
+    BitVec w(70);
+    for (std::size_t i = 0; i < 70; ++i) w.set(i);
+    EXPECT_EQ(v, w);
+}
+
+TEST(BitVec, ClearResetsEverything) {
+    BitVec v(100);
+    v.fill();
+    v.clear();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, FindFirstAndNext) {
+    BitVec v(200);
+    v.set(5);
+    v.set(64);
+    v.set(199);
+    EXPECT_EQ(v.find_first(), 5u);
+    EXPECT_EQ(v.find_next(5), 64u);
+    EXPECT_EQ(v.find_next(64), 199u);
+    EXPECT_EQ(v.find_next(199), BitVec::npos);
+}
+
+TEST(BitVec, FindNextFromUnsetPosition) {
+    BitVec v(100);
+    v.set(50);
+    EXPECT_EQ(v.find_next(0), 50u);
+    EXPECT_EQ(v.find_next(49), 50u);
+    EXPECT_EQ(v.find_next(50), BitVec::npos);
+}
+
+TEST(BitVec, IterationVisitsExactlyTheSetBits) {
+    BitVec v(300);
+    Xoshiro256 rng(7);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < 300; ++i) {
+        if (rng.next_bool(0.3)) {
+            v.set(i);
+            expected.push_back(i);
+        }
+    }
+    std::vector<std::size_t> seen;
+    for (std::size_t i = v.find_first(); i != BitVec::npos; i = v.find_next(i)) {
+        seen.push_back(i);
+    }
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVec, SetAlgebra) {
+    BitVec a(70), b(70);
+    a.set(1);
+    a.set(65);
+    b.set(1);
+    b.set(2);
+
+    BitVec and_result = a;
+    and_result &= b;
+    EXPECT_TRUE(and_result.test(1));
+    EXPECT_FALSE(and_result.test(2));
+    EXPECT_FALSE(and_result.test(65));
+
+    BitVec or_result = a;
+    or_result |= b;
+    EXPECT_EQ(or_result.count(), 3u);
+
+    BitVec xor_result = a;
+    xor_result ^= b;
+    EXPECT_FALSE(xor_result.test(1));
+    EXPECT_TRUE(xor_result.test(2));
+    EXPECT_TRUE(xor_result.test(65));
+
+    BitVec sub_result = a;
+    sub_result.subtract(b);
+    EXPECT_FALSE(sub_result.test(1));
+    EXPECT_TRUE(sub_result.test(65));
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+    BitVec a(10), b(11);
+    EXPECT_NE(a, b);
+    BitVec c(10);
+    EXPECT_EQ(a, c);
+    c.set(9);
+    EXPECT_NE(a, c);
+}
+
+TEST(BitVec, ToString) {
+    BitVec v(5);
+    v.set(0);
+    v.set(3);
+    EXPECT_EQ(v.to_string(), "10010");
+}
+
+TEST(BitVec, EmptyVector) {
+    const BitVec v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.none());
+    EXPECT_EQ(v.find_first(), BitVec::npos);
+}
+
+}  // namespace
+}  // namespace lcf::util

@@ -1,0 +1,101 @@
+// Tests for the CLI parser: value forms, types, errors, help.
+
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcf::util {
+namespace {
+
+TEST(Cli, ParsesSeparateAndInlineValues) {
+    std::uint64_t ports = 16;
+    double load = 0.5;
+    CliParser p("test");
+    p.flag("ports", "port count", &ports).flag("load", "offered load", &load);
+    const char* argv[] = {"prog", "--ports", "32", "--load=0.9"};
+    ASSERT_TRUE(p.parse(4, argv));
+    EXPECT_EQ(ports, 32u);
+    EXPECT_DOUBLE_EQ(load, 0.9);
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+    std::uint64_t ports = 16;
+    CliParser p("test");
+    p.flag("ports", "port count", &ports);
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(p.parse(1, argv));
+    EXPECT_EQ(ports, 16u);
+}
+
+TEST(Cli, BoolFlagForms) {
+    bool verbose = false;
+    bool quiet = true;
+    CliParser p("test");
+    p.flag("verbose", "", &verbose).flag("quiet", "", &quiet);
+    const char* argv[] = {"prog", "--verbose", "--quiet=false"};
+    ASSERT_TRUE(p.parse(3, argv));
+    EXPECT_TRUE(verbose);
+    EXPECT_FALSE(quiet);
+}
+
+TEST(Cli, StringValues) {
+    std::string name = "uniform";
+    CliParser p("test");
+    p.flag("traffic", "", &name);
+    const char* argv[] = {"prog", "--traffic", "bursty"};
+    ASSERT_TRUE(p.parse(3, argv));
+    EXPECT_EQ(name, "bursty");
+}
+
+TEST(Cli, SignedIntegers) {
+    std::int64_t v = 0;
+    CliParser p("test");
+    p.flag("offset", "", &v);
+    const char* argv[] = {"prog", "--offset", "-5"};
+    ASSERT_TRUE(p.parse(3, argv));
+    EXPECT_EQ(v, -5);
+}
+
+TEST(Cli, UnknownOptionFails) {
+    CliParser p("test");
+    const char* argv[] = {"prog", "--nope", "1"};
+    EXPECT_FALSE(p.parse(3, argv));
+    EXPECT_EQ(p.exit_code(), 2);
+}
+
+TEST(Cli, MissingValueFails) {
+    std::uint64_t ports = 0;
+    CliParser p("test");
+    p.flag("ports", "", &ports);
+    const char* argv[] = {"prog", "--ports"};
+    EXPECT_FALSE(p.parse(2, argv));
+    EXPECT_EQ(p.exit_code(), 2);
+}
+
+TEST(Cli, BadNumberFails) {
+    double load = 0.0;
+    CliParser p("test");
+    p.flag("load", "", &load);
+    const char* argv[] = {"prog", "--load", "abc"};
+    EXPECT_FALSE(p.parse(3, argv));
+    EXPECT_EQ(p.exit_code(), 2);
+}
+
+TEST(Cli, HelpReturnsFalseWithZeroExit) {
+    CliParser p("test");
+    const char* argv[] = {"prog", "--help"};
+    testing::internal::CaptureStdout();
+    EXPECT_FALSE(p.parse(2, argv));
+    testing::internal::GetCapturedStdout();
+    EXPECT_EQ(p.exit_code(), 0);
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+    CliParser p("test");
+    const char* argv[] = {"prog", "stray"};
+    EXPECT_FALSE(p.parse(2, argv));
+    EXPECT_EQ(p.exit_code(), 2);
+}
+
+}  // namespace
+}  // namespace lcf::util

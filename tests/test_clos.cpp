@@ -1,0 +1,207 @@
+// Tests for the three-stage Clos fabric: rearrangeable non-blocking
+// routing (Slepian–Duguid, m >= k) via edge colouring, blocking
+// behaviour for m < k, verification, and the simulator integration
+// (a non-blocking Clos must reproduce the crossbar's results exactly).
+
+#include "fabric/clos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sim/switch_sim.hpp"
+#include "traffic/bernoulli.hpp"
+#include "util/rng.hpp"
+
+namespace lcf::fabric {
+namespace {
+
+using sched::Matching;
+
+/// Random (partial or full) matching over n ports.
+Matching random_matching(util::Xoshiro256& rng, std::size_t n,
+                         double density) {
+    Matching m(n);
+    std::vector<std::size_t> outputs(n);
+    for (std::size_t j = 0; j < n; ++j) outputs[j] = j;
+    for (std::size_t j = n; j > 1; --j) {  // shuffle outputs
+        std::swap(outputs[j - 1],
+                  outputs[static_cast<std::size_t>(rng.next_below(j))]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.next_bool(density)) m.match(i, outputs[i]);
+    }
+    return m;
+}
+
+TEST(Clos, GeometryAccessors) {
+    const ClosNetwork net(4, 5, 3);
+    EXPECT_EQ(net.total_ports(), 12u);
+    EXPECT_EQ(net.ports_per_switch(), 4u);
+    EXPECT_EQ(net.middle_switches(), 5u);
+    EXPECT_EQ(net.switch_count(), 3u);
+    EXPECT_TRUE(net.rearrangeably_nonblocking());
+    EXPECT_EQ(net.switch_of(0), 0u);
+    EXPECT_EQ(net.switch_of(3), 0u);
+    EXPECT_EQ(net.switch_of(4), 1u);
+    EXPECT_EQ(net.switch_of(11), 2u);
+}
+
+TEST(Clos, RejectsDegenerateGeometry) {
+    EXPECT_THROW(ClosNetwork(0, 1, 1), std::invalid_argument);
+    EXPECT_THROW(ClosNetwork(1, 0, 1), std::invalid_argument);
+    EXPECT_THROW(ClosNetwork(1, 1, 0), std::invalid_argument);
+}
+
+TEST(Clos, RoutesEmptyMatching) {
+    const ClosNetwork net(4, 4, 4);
+    const Matching m(16);
+    const auto route = net.route(m);
+    EXPECT_TRUE(route.complete());
+    EXPECT_TRUE(net.verify(m, route));
+}
+
+TEST(Clos, RoutesIdentityPermutation) {
+    const ClosNetwork net(4, 4, 4);
+    Matching m(16);
+    for (std::size_t p = 0; p < 16; ++p) m.match(p, p);
+    const auto route = net.route(m);
+    EXPECT_TRUE(route.complete());
+    EXPECT_TRUE(net.verify(m, route));
+}
+
+TEST(Clos, RoutesWorstCasePermutationAtMinimalMiddleCount) {
+    // All k ports of ingress switch 0 target the same egress switch —
+    // the pattern that exhausts every middle switch. m = k must still
+    // route it (Slepian–Duguid bound is tight).
+    const ClosNetwork net(4, 4, 4);
+    Matching m(16);
+    for (std::size_t p = 0; p < 4; ++p) m.match(p, 4 + p);   // sw0 -> sw1
+    for (std::size_t p = 4; p < 8; ++p) m.match(p, p - 4);   // sw1 -> sw0
+    for (std::size_t p = 8; p < 12; ++p) m.match(p, p + 4);  // sw2 -> sw3
+    for (std::size_t p = 12; p < 16; ++p) m.match(p, p - 4); // sw3 -> sw2
+    const auto route = net.route(m);
+    EXPECT_TRUE(route.complete());
+    EXPECT_TRUE(net.verify(m, route));
+}
+
+TEST(Clos, NonBlockingRoutesEveryRandomMatching) {
+    util::Xoshiro256 rng(777);
+    for (const auto& [k, m_count, r] :
+         {std::tuple<std::size_t, std::size_t, std::size_t>{2, 2, 4},
+          {4, 4, 4},
+          {4, 6, 4},
+          {8, 8, 2},
+          {3, 3, 5}}) {
+        const ClosNetwork net(k, m_count, r);
+        for (int trial = 0; trial < 200; ++trial) {
+            const auto matching =
+                random_matching(rng, net.total_ports(), 0.8);
+            const auto route = net.route(matching);
+            ASSERT_TRUE(route.complete())
+                << "C(" << k << "," << m_count << "," << r << ") trial "
+                << trial;
+            ASSERT_TRUE(net.verify(matching, route));
+        }
+    }
+}
+
+TEST(Clos, ExhaustivePermutationsOnSmallNetwork) {
+    // C(2,2,2): all 4! = 24 full permutations over 4 ports must route.
+    const ClosNetwork net(2, 2, 2);
+    std::vector<std::size_t> perm = {0, 1, 2, 3};
+    int count = 0;
+    do {
+        Matching m(4);
+        for (std::size_t p = 0; p < 4; ++p) m.match(p, perm[p]);
+        const auto route = net.route(m);
+        ASSERT_TRUE(route.complete()) << "perm " << count;
+        ASSERT_TRUE(net.verify(m, route));
+        ++count;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(count, 24);
+}
+
+TEST(Clos, UnderProvisionedFabricBlocks) {
+    // m = 1 < k = 4: two connections from one ingress switch to one
+    // egress switch cannot both be carried.
+    const ClosNetwork net(4, 1, 4);
+    EXPECT_FALSE(net.rearrangeably_nonblocking());
+    Matching m(16);
+    m.match(0, 4);
+    m.match(1, 5);  // same ingress switch 0, same egress switch 1
+    const auto route = net.route(m);
+    EXPECT_FALSE(route.complete());
+    EXPECT_EQ(route.rejected_inputs.size(), 1u);
+    EXPECT_TRUE(net.verify(m, route));  // the carried part is conflict-free
+}
+
+TEST(Clos, VerifyCatchesConflicts) {
+    const ClosNetwork net(2, 2, 2);
+    Matching m(4);
+    m.match(0, 2);
+    m.match(1, 3);  // same ingress switch 0, same egress switch 1
+    ClosRoute bad;
+    bad.middle_of_input = {0, 0, -1, -1};  // both on middle switch 0
+    EXPECT_FALSE(net.verify(m, bad));
+    bad.middle_of_input = {0, 1, -1, -1};
+    EXPECT_TRUE(net.verify(m, bad));
+    bad.middle_of_input = {0, 5, -1, -1};  // out of range
+    EXPECT_FALSE(net.verify(m, bad));
+}
+
+TEST(ClosSim, NonBlockingClosMatchesCrossbarExactly) {
+    // A rearrangeably non-blocking fabric never rejects a scheduled
+    // connection, so the simulation results must be bit-identical to
+    // the crossbar run.
+    sim::SimConfig crossbar;
+    crossbar.ports = 16;
+    crossbar.slots = 5000;
+    crossbar.warmup_slots = 500;
+    sim::SimConfig clos = crossbar;
+    clos.clos_middle = 4;
+    clos.clos_group = 4;
+
+    const auto a = sim::SwitchSim(
+                       crossbar, core::make_scheduler("lcf_central_rr"),
+                       std::make_unique<traffic::BernoulliUniform>(0.85))
+                       .run();
+    const auto b = sim::SwitchSim(
+                       clos, core::make_scheduler("lcf_central_rr"),
+                       std::make_unique<traffic::BernoulliUniform>(0.85))
+                       .run();
+    EXPECT_EQ(b.fabric_blocked, 0u);
+    EXPECT_DOUBLE_EQ(a.mean_delay, b.mean_delay);
+    EXPECT_EQ(a.delivered, b.delivered);
+}
+
+TEST(ClosSim, BlockingClosLosesThroughput) {
+    sim::SimConfig config;
+    config.ports = 16;
+    config.slots = 5000;
+    config.warmup_slots = 500;
+    config.clos_middle = 2;  // m = 2 < k = 4: blocking
+    config.clos_group = 4;
+    const auto r = sim::SwitchSim(
+                       config, core::make_scheduler("lcf_central_rr"),
+                       std::make_unique<traffic::BernoulliUniform>(0.9))
+                       .run();
+    EXPECT_GT(r.fabric_blocked, 0u);
+    // Two middle switches cap each ingress group at 2 packets/slot:
+    // aggregate capacity 8/16 = 0.5 load.
+    EXPECT_LT(r.throughput, 0.55);
+    EXPECT_GT(r.throughput, 0.40);
+}
+
+TEST(ClosSim, RejectsBadGeometry) {
+    sim::SimConfig config;
+    config.ports = 16;
+    config.clos_middle = 4;
+    config.clos_group = 5;  // 16 % 5 != 0
+    EXPECT_THROW(sim::SwitchSim(
+                     config, core::make_scheduler("islip"),
+                     std::make_unique<traffic::BernoulliUniform>(0.5)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcf::fabric

@@ -1,0 +1,94 @@
+// Tests for CRC-16/CCITT-FALSE: known-answer vectors, incremental
+// updates, and error-detection behaviour.
+
+#include "clint/crc16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lcf::clint {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+    return {s.begin(), s.end()};
+}
+
+TEST(Crc16, KnownAnswerVectors) {
+    // CRC-16/CCITT-FALSE check value for "123456789" is 0x29B1.
+    EXPECT_EQ(crc16(bytes("123456789")), 0x29B1);
+    // Empty message: the CRC of nothing is the init value.
+    EXPECT_EQ(crc16({}), 0xFFFF);
+    EXPECT_EQ(crc16(bytes("A")), 0xB915);
+}
+
+TEST(Crc16, IncrementalEqualsOneShot) {
+    const auto data = bytes("the quick brown fox");
+    const std::uint16_t whole = crc16(data);
+    std::uint16_t crc = 0xFFFF;
+    crc = crc16_update(crc, std::span(data).subspan(0, 7));
+    crc = crc16_update(crc, std::span(data).subspan(7));
+    EXPECT_EQ(crc, whole);
+}
+
+TEST(Crc16, DetectsEverySingleBitFlip) {
+    const auto data = bytes("clint bulk channel");
+    const std::uint16_t good = crc16(data);
+    for (std::size_t byte = 0; byte < data.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            auto corrupted = data;
+            corrupted[byte] =
+                static_cast<std::uint8_t>(corrupted[byte] ^ (1U << bit));
+            EXPECT_NE(crc16(corrupted), good)
+                << "flip at byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+TEST(Crc16, DetectsAllDoubleBitFlipsInShortMessages) {
+    // CRC-16 with polynomial 0x1021 detects all 2-bit errors within its
+    // designed span; verify on an 8-byte message exhaustively.
+    const auto data = bytes("12345678");
+    const std::uint16_t good = crc16(data);
+    const std::size_t nbits = data.size() * 8;
+    for (std::size_t a = 0; a < nbits; ++a) {
+        for (std::size_t b = a + 1; b < nbits; ++b) {
+            auto corrupted = data;
+            corrupted[a / 8] =
+                static_cast<std::uint8_t>(corrupted[a / 8] ^ (1U << (a % 8)));
+            corrupted[b / 8] =
+                static_cast<std::uint8_t>(corrupted[b / 8] ^ (1U << (b % 8)));
+            ASSERT_NE(crc16(corrupted), good) << a << "," << b;
+        }
+    }
+}
+
+TEST(Crc16, RandomCorruptionDetectionRate) {
+    // Random multi-bit corruption slips past a 16-bit CRC with
+    // probability ~2^-16; over 20000 random corruptions expect at most a
+    // couple of misses.
+    util::Xoshiro256 rng(31337);
+    std::vector<std::uint8_t> data(32);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const std::uint16_t good = crc16(data);
+    int undetected = 0;
+    for (int trial = 0; trial < 20000; ++trial) {
+        auto corrupted = data;
+        bool changed = false;
+        for (auto& b : corrupted) {
+            if (rng.next_bool(0.1)) {
+                const auto nb = static_cast<std::uint8_t>(rng());
+                changed = changed || nb != b;
+                b = nb;
+            }
+        }
+        if (changed && crc16(corrupted) == good) ++undetected;
+    }
+    EXPECT_LE(undetected, 5);
+}
+
+}  // namespace
+}  // namespace lcf::clint

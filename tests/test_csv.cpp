@@ -1,0 +1,70 @@
+// Tests for CsvWriter: cell formatting and RFC 4180 quoting.
+
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lcf::util {
+namespace {
+
+TEST(Csv, PlainRow) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row("load", "latency", "scheduler");
+    EXPECT_EQ(out.str(), "load,latency,scheduler\n");
+}
+
+TEST(Csv, NumericCells) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row(1, 2.5, 3u);
+    EXPECT_EQ(out.str(), "1,2.5,3\n");
+}
+
+TEST(Csv, IntegralDoublesPrintWithoutDecimalPoint) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row(2.0);
+    EXPECT_EQ(out.str(), "2\n");
+}
+
+TEST(Csv, QuotesCellsWithSeparators) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row("a,b", "plain");
+    EXPECT_EQ(out.str(), "\"a,b\",plain\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row("say \"hi\"");
+    EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row("two\nlines");
+    EXPECT_EQ(out.str(), "\"two\nlines\"\n");
+}
+
+TEST(Csv, RowVec) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row_vec({"a", "b", "c"});
+    EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, MultipleRows) {
+    std::ostringstream out;
+    CsvWriter w(out);
+    w.row("x");
+    w.row("y");
+    EXPECT_EQ(out.str(), "x\ny\n");
+}
+
+}  // namespace
+}  // namespace lcf::util

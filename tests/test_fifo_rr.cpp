@@ -1,0 +1,72 @@
+// Tests for the FIFO round-robin baseline: head-of-line arbitration and
+// rotating fairness among persistent contenders.
+
+#include "sched/fifo_rr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace lcf::sched {
+namespace {
+
+TEST(FifoRr, GrantsSoleRequester) {
+    FifoRrScheduler s;
+    s.reset(4, 4);
+    Matching m;
+    s.schedule(make_requests(4, {{1, 2}}), m);
+    EXPECT_EQ(m.output_of(1), 2);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FifoRr, OneWinnerPerContestedOutput) {
+    FifoRrScheduler s;
+    s.reset(4, 4);
+    Matching m;
+    // All four inputs' HOL packets head for output 0.
+    s.schedule(make_requests(4, {{0, 0}, {1, 0}, {2, 0}, {3, 0}}), m);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_NE(m.input_of(0), kUnmatched);
+}
+
+TEST(FifoRr, RotatesAmongPersistentContenders) {
+    FifoRrScheduler s;
+    s.reset(4, 4);
+    const RequestMatrix r = make_requests(4, {{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+    Matching m;
+    std::map<std::int32_t, int> wins;
+    for (int slot = 0; slot < 40; ++slot) {
+        s.schedule(r, m);
+        ++wins[m.input_of(0)];
+    }
+    ASSERT_EQ(wins.size(), 4u);
+    for (const auto& [input, count] : wins) {
+        EXPECT_EQ(count, 10) << "input " << input;
+    }
+}
+
+TEST(FifoRr, DisjointRequestsAllGranted) {
+    FifoRrScheduler s;
+    s.reset(4, 4);
+    Matching m;
+    s.schedule(make_requests(4, {{0, 3}, {1, 2}, {2, 1}, {3, 0}}), m);
+    EXPECT_EQ(m.size(), 4u);
+}
+
+TEST(FifoRr, ValidityOnHolMatrices) {
+    FifoRrScheduler s;
+    s.reset(8, 8);
+    Matching m;
+    const RequestMatrix r =
+        make_requests(8, {{0, 1}, {1, 1}, {2, 5}, {3, 5}, {4, 5}, {5, 0}});
+    s.schedule(r, m);
+    EXPECT_TRUE(m.valid_for(r));
+    EXPECT_EQ(m.size(), 3u);  // outputs 0, 1, 5 each serve one input
+}
+
+TEST(FifoRr, NameIsStable) {
+    EXPECT_EQ(FifoRrScheduler().name(), "fifo");
+}
+
+}  // namespace
+}  // namespace lcf::sched

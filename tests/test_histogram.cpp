@@ -1,0 +1,79 @@
+// Tests for the integer histogram: exact buckets, overflow accounting,
+// mean exactness, percentiles, and merge.
+
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcf::util {
+namespace {
+
+TEST(Histogram, EmptyDefaults) {
+    const Histogram h(16);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, CountsExactValues) {
+    Histogram h(10);
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(7), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OverflowStillContributesToMeanExactly) {
+    Histogram h(4);
+    h.add(2);
+    h.add(1000);  // overflows the buckets
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 501.0);
+}
+
+TEST(Histogram, PercentilesOnUniformData) {
+    Histogram h(101);
+    for (std::uint64_t v = 0; v <= 100; ++v) h.add(v);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 50.0, 1.0);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, PercentileWithOverflowSamples) {
+    Histogram h(4);
+    h.add(0);
+    h.add(1);
+    h.add(100);
+    h.add(200);
+    // Half the samples exceed the capacity; the high percentiles report
+    // the capacity as the saturated bound.
+    EXPECT_EQ(h.percentile(1.0), 4u);
+    EXPECT_LE(h.percentile(0.25), 1u);
+}
+
+TEST(Histogram, MergeAddsEverything) {
+    Histogram a(8), b(8);
+    a.add(1);
+    a.add(20);
+    b.add(1);
+    b.add(2);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.bucket(1), 2u);
+    EXPECT_EQ(a.bucket(2), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+}
+
+TEST(Histogram, PercentileClampsQ) {
+    Histogram h(8);
+    h.add(5);
+    EXPECT_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+}  // namespace
+}  // namespace lcf::util

@@ -1,0 +1,150 @@
+// Tests pinning the hardware cost/timing/communication models to the
+// paper's published numbers (Tables 1 and 2, §6.2) and checking their
+// scaling behaviour.
+
+#include <gtest/gtest.h>
+
+#include "hw/comm_model.hpp"
+#include "hw/gate_model.hpp"
+#include "hw/timing_model.hpp"
+
+namespace lcf::hw {
+namespace {
+
+// ---------------------------------------------------------------- Table 1
+
+TEST(GateModel, Table1SliceCountsAt16Ports) {
+    const GateCount slice = GateModel::slice(16);
+    EXPECT_EQ(slice.gates, 450u);
+    EXPECT_EQ(slice.registers, 86u);
+}
+
+TEST(GateModel, Table1CentralCountsAt16Ports) {
+    const GateCount central = GateModel::central(16);
+    EXPECT_EQ(central.gates, 767u);
+    EXPECT_EQ(central.registers, 216u);
+}
+
+TEST(GateModel, Table1TotalsAt16Ports) {
+    const GateCount total = GateModel::total(16);
+    EXPECT_EQ(total.gates, 7967u);    // 16*450 + 767
+    EXPECT_EQ(total.registers, 1592u);  // 16*86 + 216
+}
+
+TEST(GateModel, CostsGrowMonotonically) {
+    GateCount prev{};
+    for (const std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        const GateCount t = GateModel::total(n);
+        EXPECT_GT(t.gates, prev.gates) << n;
+        EXPECT_GT(t.registers, prev.registers) << n;
+        prev = t;
+    }
+}
+
+TEST(GateModel, TotalGrowthIsEssentiallyQuadratic) {
+    // n slices of O(n) cost each: doubling n should roughly quadruple
+    // the total gate count at large n.
+    const double g32 = static_cast<double>(GateModel::total(32).gates);
+    const double g64 = static_cast<double>(GateModel::total(64).gates);
+    EXPECT_GT(g64 / g32, 3.0);
+    EXPECT_LT(g64 / g32, 4.5);
+}
+
+TEST(GateModel, IndexBits) {
+    EXPECT_EQ(GateModel::index_bits(2), 1u);
+    EXPECT_EQ(GateModel::index_bits(3), 2u);
+    EXPECT_EQ(GateModel::index_bits(16), 4u);
+    EXPECT_EQ(GateModel::index_bits(17), 5u);
+    EXPECT_EQ(GateModel::index_bits(64), 6u);
+}
+
+TEST(GateModel, Xcv600UtilizationAnchoredAt15Percent) {
+    EXPECT_NEAR(GateModel::xcv600_utilization(16), 0.15, 1e-12);
+    EXPECT_LT(GateModel::xcv600_utilization(8), 0.15);
+}
+
+TEST(GateModel, GateCountArithmetic) {
+    const GateCount a{10, 2}, b{5, 3};
+    EXPECT_EQ((a + b), (GateCount{15, 5}));
+    EXPECT_EQ((3 * b), (GateCount{15, 9}));
+}
+
+// ---------------------------------------------------------------- Table 2
+
+TEST(TimingModel, Table2CycleDecomposition) {
+    EXPECT_EQ(TimingModel::precalc_cycles(16), 33u);  // 2n+1
+    EXPECT_EQ(TimingModel::lcf_cycles(16), 50u);      // 3n+2
+    EXPECT_EQ(TimingModel::total_cycles(16), 83u);    // 5n+3
+}
+
+TEST(TimingModel, Table2TimesAt66MHz) {
+    const TimingModel t;  // 66 MHz default
+    EXPECT_EQ(t.nanoseconds(TimingModel::precalc_cycles(16)), 500u);
+    EXPECT_EQ(t.nanoseconds(TimingModel::lcf_cycles(16)), 758u);
+    EXPECT_EQ(t.nanoseconds(TimingModel::total_cycles(16)), 1258u);
+}
+
+TEST(TimingModel, SchedulingTimeMatchesSection1Quote) {
+    // §1: "the actual scheduling time is 1.3 µs" for the 16-port switch.
+    const TimingModel t;
+    EXPECT_NEAR(t.seconds(TimingModel::total_cycles(16)), 1.3e-6, 0.05e-6);
+}
+
+TEST(TimingModel, SchedulerFitsInsideTheClintSlot) {
+    // The pipeline argument: scheduling (1.26 µs) overlaps the 8.5 µs
+    // slot, using about 15 % of it.
+    const TimingModel t;
+    EXPECT_LT(t.slot_fraction(16), 0.16);
+    EXPECT_GT(t.slot_fraction(16), 0.14);
+}
+
+TEST(TimingModel, CustomClock) {
+    const TimingModel t(133.0e6);
+    EXPECT_NEAR(t.seconds(133), 1e-6, 1e-12);
+}
+
+TEST(TimingModel, LinearCycleGrowth) {
+    EXPECT_EQ(TimingModel::total_cycles(32), 5u * 32 + 3);
+    EXPECT_EQ(TimingModel::total_cycles(64), 5u * 64 + 3);
+}
+
+// ------------------------------------------------------------- §6.2 comm
+
+TEST(CommModel, CentralFormula) {
+    // n(n + log2 n + 1): for n = 16 -> 16 * 21 = 336 bits.
+    EXPECT_EQ(CommModel::central_bits(16), 336u);
+    // n = 4 -> 4 * (4 + 2 + 1) = 28.
+    EXPECT_EQ(CommModel::central_bits(4), 28u);
+}
+
+TEST(CommModel, DistributedFormula) {
+    // i n^2 (2 log2 n + 3): n = 16, i = 4 -> 4 * 256 * 11 = 11264.
+    EXPECT_EQ(CommModel::distributed_bits(16, 4), 11264u);
+    // One iteration, n = 4 -> 16 * 7 = 112.
+    EXPECT_EQ(CommModel::distributed_bits(4, 1), 112u);
+}
+
+TEST(CommModel, DistributedCostsSignificantlyMore) {
+    // The paper's qualitative claim, quantified: at n = 16 with 4
+    // iterations the distributed scheduler moves ~34x more bits.
+    EXPECT_NEAR(CommModel::overhead_ratio(16, 4), 11264.0 / 336.0, 1e-9);
+    EXPECT_GT(CommModel::overhead_ratio(16, 4), 30.0);
+}
+
+TEST(CommModel, Log2Bits) {
+    EXPECT_EQ(CommModel::log2_bits(2), 1u);
+    EXPECT_EQ(CommModel::log2_bits(16), 4u);
+    EXPECT_EQ(CommModel::log2_bits(17), 5u);
+}
+
+TEST(CommModel, CentralScalesQuadraticallyDistributedWorse) {
+    const double c_ratio = static_cast<double>(CommModel::central_bits(64)) /
+                           static_cast<double>(CommModel::central_bits(16));
+    const double d_ratio =
+        static_cast<double>(CommModel::distributed_bits(64, 4)) /
+        static_cast<double>(CommModel::distributed_bits(16, 4));
+    EXPECT_GT(d_ratio, c_ratio);  // the n² log n term dominates
+}
+
+}  // namespace
+}  // namespace lcf::hw

@@ -1,0 +1,128 @@
+// Tests for iSLIP: pointer behaviour (move only on first-iteration
+// accepts), desynchronisation under full load, validity, and rotation
+// fairness.
+
+#include "sched/islip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace lcf::sched {
+namespace {
+
+TEST(Islip, SingleRequestGranted) {
+    IslipScheduler s;
+    s.reset(4, 4);
+    Matching m;
+    s.schedule(make_requests(4, {{3, 1}}), m);
+    EXPECT_EQ(m.output_of(3), 1);
+}
+
+TEST(Islip, FullLoadReachesPerfectMatchingAfterDesync) {
+    // The hallmark iSLIP property: under all-ones requests the pointers
+    // desynchronise within a few slots and every subsequent slot yields
+    // a perfect matching.
+    IslipScheduler s(SchedulerConfig{.iterations = 1});
+    s.reset(4, 4);
+    RequestMatrix full(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) full.set(i, j);
+    }
+    Matching m;
+    for (int warm = 0; warm < 8; ++warm) s.schedule(full, m);
+    for (int slot = 0; slot < 32; ++slot) {
+        s.schedule(full, m);
+        EXPECT_EQ(m.size(), 4u) << "slot " << slot;
+    }
+}
+
+TEST(Islip, RotatesAmongPersistentContenders) {
+    const RequestMatrix r = make_requests(4, {{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+    IslipScheduler s;
+    s.reset(4, 4);
+    Matching m;
+    std::map<std::int32_t, int> wins;
+    for (int slot = 0; slot < 40; ++slot) {
+        s.schedule(r, m);
+        ++wins[m.input_of(0)];
+    }
+    ASSERT_EQ(wins.size(), 4u);
+    for (const auto& [input, count] : wins) {
+        EXPECT_EQ(count, 10) << "input " << input;
+    }
+}
+
+TEST(Islip, ValidityAndDeterminism) {
+    util::Xoshiro256 rng(14);
+    IslipScheduler a(SchedulerConfig{.iterations = 4});
+    IslipScheduler b(SchedulerConfig{.iterations = 4});
+    a.reset(8, 8);
+    b.reset(8, 8);
+    Matching ma, mb;
+    for (int trial = 0; trial < 300; ++trial) {
+        RequestMatrix r(8);
+        for (std::size_t i = 0; i < 8; ++i) {
+            for (std::size_t j = 0; j < 8; ++j) {
+                if (rng.next_bool(0.4)) r.set(i, j);
+            }
+        }
+        a.schedule(r, ma);
+        b.schedule(r, mb);
+        EXPECT_TRUE(ma.valid_for(r));
+        EXPECT_EQ(ma, mb);  // iSLIP is fully deterministic
+    }
+}
+
+TEST(Islip, MoreIterationsAugment) {
+    // A pattern where one grant-accept round leaves an augmentable pair:
+    // I0 requests T0+T1, I1 requests T0 only. With pointers at zero,
+    // iteration 1 grants T0->I0, T1->I0; I0 accepts T0; I1 idles. The
+    // second iteration must match I1... no: I1 only wants T0, taken.
+    // Use I1:{T0}, I0:{T0,T1}: iter 1 may match I0 with T0 leaving T1
+    // unmatched and I1 stranded; with 2 iterations T1 is still not
+    // requestable by I1 — so instead check a genuinely augmentable case:
+    // I0:{T0,T1}, I1:{T1}. Grant: T0->I0, T1->I1(ptr 0 hits I0 first...)
+    // Simply assert more iterations never shrink the matching across
+    // random matrices.
+    util::Xoshiro256 rng(21);
+    for (int trial = 0; trial < 200; ++trial) {
+        RequestMatrix r(6);
+        for (std::size_t i = 0; i < 6; ++i) {
+            for (std::size_t j = 0; j < 6; ++j) {
+                if (rng.next_bool(0.4)) r.set(i, j);
+            }
+        }
+        std::size_t prev = 0;
+        for (const std::size_t iters : {1u, 2u, 4u}) {
+            IslipScheduler s(SchedulerConfig{.iterations = iters});
+            s.reset(6, 6);
+            Matching m;
+            s.schedule(r, m);
+            EXPECT_GE(m.size(), prev);
+            prev = m.size();
+        }
+    }
+}
+
+TEST(Islip, FourIterationsMaximalOnSmallSwitches) {
+    util::Xoshiro256 rng(31);
+    IslipScheduler s(SchedulerConfig{.iterations = 8});
+    s.reset(8, 8);
+    Matching m;
+    for (int trial = 0; trial < 200; ++trial) {
+        RequestMatrix r(8);
+        for (std::size_t i = 0; i < 8; ++i) {
+            for (std::size_t j = 0; j < 8; ++j) {
+                if (rng.next_bool(0.3)) r.set(i, j);
+            }
+        }
+        s.schedule(r, m);
+        EXPECT_TRUE(m.maximal_for(r));
+    }
+}
+
+}  // namespace
+}  // namespace lcf::sched

@@ -1,0 +1,54 @@
+// Tests for the bit-error link model: error-free passthrough, flip-rate
+// calibration, and statistics.
+
+#include "clint/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcf::clint {
+namespace {
+
+TEST(ErrorLink, ZeroRateIsTransparent) {
+    ErrorLink link(0.0, 1);
+    const std::vector<std::uint8_t> data{1, 2, 3, 250};
+    EXPECT_EQ(link.transmit(data), data);
+    EXPECT_EQ(link.corrupted_packets(), 0u);
+    EXPECT_EQ(link.flipped_bits(), 0u);
+}
+
+TEST(ErrorLink, FlipRateIsCalibrated) {
+    constexpr double kBer = 0.01;
+    ErrorLink link(kBer, 7);
+    const std::vector<std::uint8_t> data(100, 0);
+    std::uint64_t total_bits = 0;
+    for (int packet = 0; packet < 200; ++packet) {
+        (void)link.transmit(data);
+        total_bits += data.size() * 8;
+    }
+    const double rate = static_cast<double>(link.flipped_bits()) /
+                        static_cast<double>(total_bits);
+    EXPECT_NEAR(rate, kBer, 0.002);
+}
+
+TEST(ErrorLink, CorruptedPacketCounterTracksPackets) {
+    ErrorLink link(1.0, 3);  // every bit flips
+    const std::vector<std::uint8_t> data{0x00, 0xFF};
+    const auto out = link.transmit(data);
+    EXPECT_EQ(out[0], 0xFF);
+    EXPECT_EQ(out[1], 0x00);
+    EXPECT_EQ(link.corrupted_packets(), 1u);
+    EXPECT_EQ(link.flipped_bits(), 16u);
+}
+
+TEST(ErrorLink, RejectsInvalidRate) {
+    EXPECT_THROW(ErrorLink(-0.1, 1), std::invalid_argument);
+    EXPECT_THROW(ErrorLink(1.1, 1), std::invalid_argument);
+}
+
+TEST(ErrorLink, EmptyPacket) {
+    ErrorLink link(0.5, 9);
+    EXPECT_TRUE(link.transmit({}).empty());
+}
+
+}  // namespace
+}  // namespace lcf::clint

@@ -1,0 +1,95 @@
+// Tests for Matching: bidirectional consistency, validity and maximality
+// predicates, and mutation operations.
+
+#include "sched/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/request_matrix.hpp"
+
+namespace lcf::sched {
+namespace {
+
+TEST(Matching, StartsUnmatched) {
+    const Matching m(4);
+    EXPECT_EQ(m.size(), 0u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(m.output_of(i), kUnmatched);
+        EXPECT_EQ(m.input_of(i), kUnmatched);
+    }
+}
+
+TEST(Matching, MatchMaintainsBothDirections) {
+    Matching m(4);
+    m.match(1, 3);
+    EXPECT_EQ(m.output_of(1), 3);
+    EXPECT_EQ(m.input_of(3), 1);
+    EXPECT_TRUE(m.input_matched(1));
+    EXPECT_TRUE(m.output_matched(3));
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Matching, UnmatchInput) {
+    Matching m(4);
+    m.match(0, 2);
+    m.unmatch_input(0);
+    EXPECT_FALSE(m.input_matched(0));
+    EXPECT_FALSE(m.output_matched(2));
+    m.unmatch_input(0);  // idempotent on unmatched inputs
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matching, ResetResizes) {
+    Matching m(2);
+    m.match(0, 1);
+    m.reset(5, 5);
+    EXPECT_EQ(m.inputs(), 5u);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matching, ValidForRequiresBackingRequests) {
+    const RequestMatrix r = make_requests(4, {{0, 1}, {2, 3}});
+    Matching m(4);
+    m.match(0, 1);
+    EXPECT_TRUE(m.valid_for(r));
+    m.match(2, 2);  // no request (2, 2)
+    EXPECT_FALSE(m.valid_for(r));
+}
+
+TEST(Matching, ValidForRejectsShapeMismatch) {
+    const RequestMatrix r(4);
+    const Matching m(3);
+    EXPECT_FALSE(m.valid_for(r));
+}
+
+TEST(Matching, MaximalForDetectsAugmentablePair) {
+    const RequestMatrix r = make_requests(4, {{0, 0}, {1, 1}});
+    Matching m(4);
+    m.match(0, 0);
+    EXPECT_FALSE(m.maximal_for(r));  // (1,1) is free-free
+    m.match(1, 1);
+    EXPECT_TRUE(m.maximal_for(r));
+}
+
+TEST(Matching, MaximalForEmptyRequestsIsTrivially) {
+    const RequestMatrix r(4);
+    const Matching m(4);
+    EXPECT_TRUE(m.maximal_for(r));
+}
+
+TEST(Matching, ToStringFormat) {
+    Matching m(3);
+    m.match(0, 2);
+    EXPECT_EQ(m.to_string(), "0->2 1->- 2->-");
+}
+
+TEST(Matching, EqualityIsStructural) {
+    Matching a(3), b(3);
+    a.match(0, 1);
+    EXPECT_NE(a, b);
+    b.match(0, 1);
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace lcf::sched

@@ -1,0 +1,119 @@
+// Tests for the Hopcroft–Karp maximum-size matching reference:
+// optimality against brute force on small instances, known structured
+// cases, and validity at scale.
+
+#include "sched/maxsize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace lcf::sched {
+namespace {
+
+/// Brute-force maximum matching size for matrices up to ~5x5.
+std::size_t brute_force_max(const RequestMatrix& r, std::size_t input,
+                            std::uint32_t used_outputs) {
+    if (input == r.inputs()) return 0;
+    std::size_t best = brute_force_max(r, input + 1, used_outputs);
+    for (std::size_t j = 0; j < r.outputs(); ++j) {
+        if (r.get(input, j) && !(used_outputs & (1U << j))) {
+            best = std::max(best, 1 + brute_force_max(r, input + 1,
+                                                      used_outputs |
+                                                          (1U << j)));
+        }
+    }
+    return best;
+}
+
+TEST(MaxSize, MatchesBruteForceOnRandomSmallInstances) {
+    util::Xoshiro256 rng(61);
+    for (int trial = 0; trial < 300; ++trial) {
+        RequestMatrix r(5);
+        for (std::size_t i = 0; i < 5; ++i) {
+            for (std::size_t j = 0; j < 5; ++j) {
+                if (rng.next_bool(0.4)) r.set(i, j);
+            }
+        }
+        EXPECT_EQ(MaxSizeScheduler::maximum_matching_size(r),
+                  brute_force_max(r, 0, 0));
+    }
+}
+
+TEST(MaxSize, PerfectMatchingOnPermutation) {
+    RequestMatrix r(8);
+    for (std::size_t i = 0; i < 8; ++i) r.set(i, (i * 3) % 8);
+    EXPECT_EQ(MaxSizeScheduler::maximum_matching_size(r), 8u);
+}
+
+TEST(MaxSize, AugmentingPathCase) {
+    // Greedy picks (0,0) and strands input 1; the optimum re-routes 0 to
+    // output 1. A classic augmenting-path instance.
+    const RequestMatrix r = make_requests(4, {{0, 0}, {0, 1}, {1, 0}});
+    MaxSizeScheduler s;
+    s.reset(4, 4);
+    Matching m;
+    s.schedule(r, m);
+    EXPECT_EQ(m.size(), 2u);
+    EXPECT_TRUE(m.valid_for(r));
+}
+
+TEST(MaxSize, LongAugmentingChain) {
+    // Inputs i request outputs {i, i+1}; input n-1 requests only n-1.
+    // A bad greedy choice cascades; the optimum is a perfect matching.
+    RequestMatrix r(6);
+    for (std::size_t i = 0; i < 5; ++i) {
+        r.set(i, i);
+        r.set(i, i + 1);
+    }
+    r.set(5, 5);
+    EXPECT_EQ(MaxSizeScheduler::maximum_matching_size(r), 6u);
+}
+
+TEST(MaxSize, StarvationStructureStillMaximum) {
+    // The paper's fairness discussion (§3): maximising the match count
+    // can permanently ignore some requests. The maximum here is 3 and
+    // it necessarily excludes one of the contending pairs.
+    const RequestMatrix r = make_requests(
+        4, {{0, 1}, {0, 2}, {1, 0}, {1, 2}, {1, 3}, {2, 0}, {2, 2}, {2, 3},
+            {3, 1}});
+    EXPECT_EQ(MaxSizeScheduler::maximum_matching_size(r), 4u);
+}
+
+TEST(MaxSize, EmptyAndFull) {
+    EXPECT_EQ(MaxSizeScheduler::maximum_matching_size(RequestMatrix(4)), 0u);
+    RequestMatrix full(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (std::size_t j = 0; j < 8; ++j) full.set(i, j);
+    }
+    EXPECT_EQ(MaxSizeScheduler::maximum_matching_size(full), 8u);
+}
+
+TEST(MaxSize, ValidMatchingsAtScale) {
+    util::Xoshiro256 rng(71);
+    MaxSizeScheduler s;
+    s.reset(32, 32);
+    Matching m;
+    for (int trial = 0; trial < 50; ++trial) {
+        RequestMatrix r(32);
+        for (std::size_t i = 0; i < 32; ++i) {
+            for (std::size_t j = 0; j < 32; ++j) {
+                if (rng.next_bool(0.15)) r.set(i, j);
+            }
+        }
+        s.schedule(r, m);
+        EXPECT_TRUE(m.valid_for(r));
+        EXPECT_TRUE(m.maximal_for(r));
+    }
+}
+
+TEST(MaxSize, RectangularMatrices) {
+    RequestMatrix r(2, 5);
+    r.set(0, 4);
+    r.set(1, 4);
+    r.set(1, 0);
+    EXPECT_EQ(MaxSizeScheduler::maximum_matching_size(r), 2u);
+}
+
+}  // namespace
+}  // namespace lcf::sched

@@ -1,0 +1,74 @@
+// Direct tests for MetricsCollector and SimResult plumbing.
+
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcf::sim {
+namespace {
+
+TEST(Metrics, CountsBasics) {
+    MetricsCollector m(4, 4, 0, false);
+    m.on_generated();
+    m.on_generated();
+    m.on_dropped();
+    m.on_delivered(0, 3, 1, 2);
+    EXPECT_EQ(m.generated(), 2u);
+    EXPECT_EQ(m.dropped(), 1u);
+    EXPECT_EQ(m.delivered(), 1u);
+    EXPECT_EQ(m.measured(), 1u);
+    EXPECT_DOUBLE_EQ(m.delay_stat().mean(), 3.0);
+}
+
+TEST(Metrics, WarmupExcludesDelayButCountsDelivery) {
+    MetricsCollector m(4, 4, 100, false);
+    m.on_delivered(50, 7, 0, 0);   // generated pre-warm-up
+    m.on_delivered(150, 9, 0, 0);  // post-warm-up
+    EXPECT_EQ(m.delivered(), 2u);
+    EXPECT_EQ(m.measured(), 1u);
+    EXPECT_DOUBLE_EQ(m.delay_stat().mean(), 9.0);
+}
+
+TEST(Metrics, ServiceMatrixOnlyWhenRequested) {
+    MetricsCollector off(4, 4, 0, false);
+    off.on_delivered(0, 1, 2, 3);
+    EXPECT_FALSE(off.has_service_matrix());
+    EXPECT_EQ(off.service(2, 3), 0u);
+
+    MetricsCollector on(4, 4, 0, true);
+    on.on_delivered(0, 1, 2, 3);
+    on.on_delivered(0, 1, 2, 3);
+    EXPECT_TRUE(on.has_service_matrix());
+    EXPECT_EQ(on.service(2, 3), 2u);
+    EXPECT_EQ(on.service(3, 2), 0u);
+}
+
+TEST(Metrics, ServiceMatrixRespectsWarmup) {
+    MetricsCollector m(2, 2, 10, true);
+    m.on_delivered(5, 1, 0, 1);   // pre-warm-up: not recorded
+    m.on_delivered(15, 1, 0, 1);  // recorded
+    EXPECT_EQ(m.service(0, 1), 1u);
+}
+
+TEST(Metrics, HistogramAndStatsAgree) {
+    MetricsCollector m(2, 2, 0, false);
+    for (std::uint64_t d = 1; d <= 100; ++d) {
+        m.on_delivered(0, d, 0, 0);
+    }
+    EXPECT_NEAR(m.delay_histogram().mean(), m.delay_stat().mean(), 1e-9);
+    EXPECT_EQ(m.delay_histogram().percentile(1.0), 100u);
+    EXPECT_NEAR(static_cast<double>(m.delay_histogram().percentile(0.5)),
+                50.0, 1.0);
+}
+
+TEST(SimResultStruct, ServiceOfHandlesEmpty) {
+    SimResult r;
+    r.ports = 4;
+    EXPECT_EQ(r.service_of(1, 2), 0u);
+    r.service.assign(16, 0);
+    r.service[1 * 4 + 2] = 7;
+    EXPECT_EQ(r.service_of(1, 2), 7u);
+}
+
+}  // namespace
+}  // namespace lcf::sim

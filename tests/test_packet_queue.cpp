@@ -1,0 +1,75 @@
+// Tests for the bounded packet FIFO: ordering, capacity, wraparound.
+
+#include "sim/packet_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcf::sim {
+namespace {
+
+Packet make_packet(std::uint64_t id) {
+    return Packet{id, 0, 0, 0};
+}
+
+TEST(PacketQueue, StartsEmpty) {
+    const PacketQueue q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(PacketQueue, FifoOrder) {
+    PacketQueue q(8);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(q.push(make_packet(i)));
+    }
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(q.front().id, i);
+        EXPECT_EQ(q.pop().id, i);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(PacketQueue, RejectsWhenFull) {
+    PacketQueue q(2);
+    EXPECT_TRUE(q.push(make_packet(0)));
+    EXPECT_TRUE(q.push(make_packet(1)));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(make_packet(2)));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.front().id, 0u);  // rejected push altered nothing
+}
+
+TEST(PacketQueue, WraparoundKeepsOrder) {
+    PacketQueue q(3);
+    std::uint64_t next = 0, expect = 0;
+    for (int round = 0; round < 10; ++round) {
+        while (!q.full()) q.push(make_packet(next++));
+        q.pop();
+        EXPECT_EQ(q.front().id, ++expect);
+    }
+}
+
+TEST(PacketQueue, ClearEmpties) {
+    PacketQueue q(4);
+    q.push(make_packet(1));
+    q.push(make_packet(2));
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(q.push(make_packet(3)));
+    EXPECT_EQ(q.front().id, 3u);
+}
+
+TEST(PacketQueue, PreservesPacketFields) {
+    PacketQueue q(2);
+    q.push(Packet{42, 3, 7, 99});
+    const Packet p = q.pop();
+    EXPECT_EQ(p.id, 42u);
+    EXPECT_EQ(p.source, 3u);
+    EXPECT_EQ(p.destination, 7u);
+    EXPECT_EQ(p.generated_slot, 99u);
+}
+
+}  // namespace
+}  // namespace lcf::sim

@@ -1,0 +1,97 @@
+// Tests for the heavy-tailed Pareto burst traffic: distribution shape,
+// load calibration, burst coherence, and factory integration.
+
+#include "traffic/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "traffic/traffic.hpp"
+
+namespace lcf::traffic {
+namespace {
+
+TEST(Pareto, RejectsBadParameters) {
+    EXPECT_THROW(ParetoBurstTraffic(1.5), std::invalid_argument);
+    EXPECT_THROW(ParetoBurstTraffic(0.5, 1.0), std::invalid_argument);
+    EXPECT_THROW(ParetoBurstTraffic(0.5, 1.5, 0.5), std::invalid_argument);
+}
+
+TEST(Pareto, SampleMeanMatchesClosedForm) {
+    const ParetoBurstTraffic gen(0.5, 1.5, 10000.0);
+    util::Xoshiro256 rng(12);
+    double sum = 0.0;
+    constexpr int kDraws = 200000;
+    for (int k = 0; k < kDraws; ++k) {
+        const double x = gen.sample_burst(rng);
+        ASSERT_GE(x, 1.0);
+        ASSERT_LE(x, 10000.0);
+        sum += x;
+    }
+    // Heavy tail => slow convergence; allow 10 % tolerance.
+    EXPECT_NEAR(sum / kDraws, gen.mean_burst(), gen.mean_burst() * 0.10);
+}
+
+TEST(Pareto, TailIsHeavierThanGeometric) {
+    // P(X > 100) for bounded Pareto(1.5) is ~1e-3; a geometric with the
+    // same mean (~3) would put it below 1e-14. Count empirical
+    // exceedances.
+    const ParetoBurstTraffic gen(0.5);
+    util::Xoshiro256 rng(9);
+    int exceed = 0;
+    constexpr int kDraws = 100000;
+    for (int k = 0; k < kDraws; ++k) {
+        if (gen.sample_burst(rng) > 100.0) ++exceed;
+    }
+    EXPECT_GT(exceed, 20);  // ~100 expected; geometric would give 0
+}
+
+TEST(Pareto, LoadIsApproximatelyCalibrated) {
+    ParetoBurstTraffic gen(0.4);
+    gen.reset(1, 16, 31);
+    std::uint64_t busy = 0;
+    constexpr std::uint64_t kSlots = 400000;
+    for (std::uint64_t t = 0; t < kSlots; ++t) {
+        if (gen.arrival(0, t) != kNoArrival) ++busy;
+    }
+    // Heavy-tailed on periods make the busy fraction noisy; a wide
+    // tolerance still catches calibration errors of the wrong shape.
+    EXPECT_NEAR(static_cast<double>(busy) / static_cast<double>(kSlots), 0.4,
+                0.12);
+}
+
+TEST(Pareto, BurstsKeepOneDestination) {
+    ParetoBurstTraffic gen(0.6);
+    gen.reset(1, 16, 5);
+    std::int32_t prev = kNoArrival;
+    std::uint64_t switches_without_gap = 0;
+    std::uint64_t continuations = 0;
+    for (std::uint64_t t = 0; t < 100000; ++t) {
+        const auto d = gen.arrival(0, t);
+        if (d != kNoArrival && prev != kNoArrival) {
+            if (d == prev) {
+                ++continuations;
+            } else {
+                ++switches_without_gap;
+            }
+        }
+        prev = d;
+    }
+    // Pareto(1.5) produces many 1-slot bursts (median ~1.6), so
+    // burst-to-burst adjacency is common at load 0.6 — but within-burst
+    // continuations must still dominate clearly (the rare huge bursts
+    // contribute thousands of continuations each).
+    EXPECT_GT(continuations, 3 * switches_without_gap);
+}
+
+TEST(Pareto, FactoryKnowsIt) {
+    const auto gen = make_traffic("pareto", 0.3);
+    ASSERT_NE(gen, nullptr);
+    EXPECT_EQ(gen->name(), "pareto");
+    EXPECT_DOUBLE_EQ(gen->offered_load(), 0.3);
+}
+
+}  // namespace
+}  // namespace lcf::traffic

@@ -1,0 +1,108 @@
+// Rectangular (inputs != outputs) switch support: the request-matrix
+// and matching types are rectangular by design; verify the schedulers
+// that support non-square geometries behave correctly there (the RTL
+// model is square-only by hardware construction and rejects).
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sched/maxsize.hpp"
+#include "util/rng.hpp"
+
+namespace lcf {
+namespace {
+
+using sched::Matching;
+using sched::RequestMatrix;
+
+RequestMatrix random_rect(util::Xoshiro256& rng, std::size_t inputs,
+                          std::size_t outputs, double density) {
+    RequestMatrix r(inputs, outputs);
+    for (std::size_t i = 0; i < inputs; ++i) {
+        for (std::size_t j = 0; j < outputs; ++j) {
+            if (rng.next_bool(density)) r.set(i, j);
+        }
+    }
+    return r;
+}
+
+TEST(Rectangular, SchedulersStayValidOnWideAndTallMatrices) {
+    // Concentrators (more inputs than outputs) and expanders (fewer).
+    util::Xoshiro256 rng(404);
+    for (const auto& [n_in, n_out] :
+         {std::pair<std::size_t, std::size_t>{8, 3},
+          {3, 8},
+          {16, 4},
+          {2, 12}}) {
+        for (const auto* name :
+             {"pim", "islip", "maxsize", "fifo", "ilqf", "rrm",
+              "lcf_central", "lcf_central_rr", "lcf_dist", "lcf_dist_rr"}) {
+            auto s = core::make_scheduler(
+                name, sched::SchedulerConfig{.iterations = 8, .seed = 5});
+            s->reset(n_in, n_out);
+            Matching m;
+            for (int trial = 0; trial < 100; ++trial) {
+                const auto r = random_rect(rng, n_in, n_out, 0.4);
+                s->schedule(r, m);
+                ASSERT_TRUE(m.valid_for(r))
+                    << name << " " << n_in << "x" << n_out;
+                ASSERT_LE(m.size(), std::min(n_in, n_out));
+            }
+        }
+    }
+}
+
+TEST(Rectangular, LcfCentralMaximalOnRectangles) {
+    util::Xoshiro256 rng(405);
+    auto s = core::make_scheduler("lcf_central_rr");
+    s->reset(6, 10);
+    Matching m;
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto r = random_rect(rng, 6, 10, 0.3);
+        s->schedule(r, m);
+        ASSERT_TRUE(m.maximal_for(r));
+    }
+}
+
+TEST(Rectangular, ConcentratorSaturatesAtOutputCount) {
+    // 8 inputs all requesting all 3 outputs: exactly 3 grants.
+    auto s = core::make_scheduler("lcf_central");
+    s->reset(8, 3);
+    RequestMatrix r(8, 3);
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) r.set(i, j);
+    }
+    Matching m;
+    s->schedule(r, m);
+    EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(Rectangular, MaxSizeOptimalOnRectangles) {
+    util::Xoshiro256 rng(406);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto r = random_rect(rng, 4, 7, 0.35);
+        // Brute force over the 4 inputs.
+        std::size_t best = 0;
+        for (std::uint32_t assign = 0; assign < (1u << (4 * 3)); ++assign) {
+            // 3 bits per input choosing output 0..6 or skip (7).
+            std::uint32_t used = 0;
+            std::size_t count = 0;
+            bool ok = true;
+            for (std::size_t i = 0; i < 4 && ok; ++i) {
+                const std::uint32_t pick = (assign >> (3 * i)) & 7u;
+                if (pick == 7) continue;
+                if (!r.get(i, pick) || (used & (1u << pick))) {
+                    ok = false;
+                } else {
+                    used |= 1u << pick;
+                    ++count;
+                }
+            }
+            if (ok) best = std::max(best, count);
+        }
+        EXPECT_EQ(sched::MaxSizeScheduler::maximum_matching_size(r), best);
+    }
+}
+
+}  // namespace
+}  // namespace lcf

@@ -1,0 +1,80 @@
+// Tests for RequestMatrix: bit accounting, row/column counts (NRQ/NGT),
+// and the test-helper constructor.
+
+#include "sched/request_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcf::sched {
+namespace {
+
+TEST(RequestMatrix, StartsEmpty) {
+    const RequestMatrix m(4);
+    EXPECT_EQ(m.inputs(), 4u);
+    EXPECT_EQ(m.outputs(), 4u);
+    EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(RequestMatrix, RectangularShape) {
+    const RequestMatrix m(3, 5);
+    EXPECT_EQ(m.inputs(), 3u);
+    EXPECT_EQ(m.outputs(), 5u);
+}
+
+TEST(RequestMatrix, SetGetClear) {
+    RequestMatrix m(4);
+    m.set(1, 2);
+    EXPECT_TRUE(m.get(1, 2));
+    EXPECT_FALSE(m.get(2, 1));
+    m.set(1, 2, false);
+    EXPECT_FALSE(m.get(1, 2));
+    m.set(0, 0);
+    m.set(3, 3);
+    m.clear();
+    EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(RequestMatrix, RowAndColumnCounts) {
+    // The paper's Figure 3 example: NRQ column must read 2, 3, 3, 1.
+    const RequestMatrix m = make_requests(
+        4, {{0, 1}, {0, 2}, {1, 0}, {1, 2}, {1, 3}, {2, 0}, {2, 2}, {2, 3},
+            {3, 1}});
+    EXPECT_EQ(m.row_count(0), 2u);
+    EXPECT_EQ(m.row_count(1), 3u);
+    EXPECT_EQ(m.row_count(2), 3u);
+    EXPECT_EQ(m.row_count(3), 1u);
+    // NGT per target: T0 has 2 requesters, T1 2, T2 3, T3 2.
+    EXPECT_EQ(m.col_count(0), 2u);
+    EXPECT_EQ(m.col_count(1), 2u);
+    EXPECT_EQ(m.col_count(2), 3u);
+    EXPECT_EQ(m.col_count(3), 2u);
+    EXPECT_EQ(m.total(), 9u);
+}
+
+TEST(RequestMatrix, RowBitVecMatchesGets) {
+    RequestMatrix m(8);
+    m.set(2, 0);
+    m.set(2, 7);
+    const auto& row = m.row(2);
+    EXPECT_TRUE(row.test(0));
+    EXPECT_TRUE(row.test(7));
+    EXPECT_EQ(row.count(), 2u);
+}
+
+TEST(RequestMatrix, Equality) {
+    RequestMatrix a(4), b(4);
+    EXPECT_EQ(a, b);
+    a.set(0, 0);
+    EXPECT_NE(a, b);
+    b.set(0, 0);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RequestMatrix, MutableRowAccess) {
+    RequestMatrix m(4);
+    m.row(1).set(3);
+    EXPECT_TRUE(m.get(1, 3));
+}
+
+}  // namespace
+}  // namespace lcf::sched

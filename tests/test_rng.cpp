@@ -1,0 +1,111 @@
+// Tests for the deterministic RNG stack: reproducibility, stream
+// independence, distribution sanity, and next_below bounds.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace lcf::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+    SplitMix64 a(1234), b(1234);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+    SplitMix64 a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next()) ++equal;
+    }
+    EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, Reproducible) {
+    Xoshiro256 a(99), b(99);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Xoshiro256, SeedZeroIsUsable) {
+    Xoshiro256 rng(0);
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 100; ++i) values.insert(rng());
+    EXPECT_GT(values.size(), 95u);  // not stuck
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Xoshiro256, NextDoubleMeanIsNearHalf) {
+    Xoshiro256 rng(17);
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) sum += rng.next_double();
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+    Xoshiro256 rng(3);
+    for (const std::uint64_t bound : {1ull, 2ull, 7ull, 16ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(rng.next_below(bound), bound);
+        }
+    }
+}
+
+TEST(Xoshiro256, NextBelowIsApproximatelyUniform) {
+    Xoshiro256 rng(11);
+    constexpr std::uint64_t kBound = 10;
+    constexpr int kDraws = 100000;
+    std::vector<int> counts(kBound, 0);
+    for (int i = 0; i < kDraws; ++i) {
+        ++counts[rng.next_below(kBound)];
+    }
+    // Chi-squared with 9 dof: 99.9th percentile is ~27.9.
+    double chi2 = 0.0;
+    const double expected = static_cast<double>(kDraws) / kBound;
+    for (const int c : counts) {
+        chi2 += (c - expected) * (c - expected) / expected;
+    }
+    EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Xoshiro256, NextBoolMatchesProbability) {
+    Xoshiro256 rng(23);
+    int hits = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        if (rng.next_bool(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(DeriveSeed, StreamsAreDistinct) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t s = 0; s < 100; ++s) {
+        seeds.insert(derive_seed(42, s));
+    }
+    EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(DeriveSeed, Deterministic) {
+    EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+    EXPECT_NE(derive_seed(7, 3), derive_seed(8, 3));
+}
+
+}  // namespace
+}  // namespace lcf::util

@@ -1,0 +1,75 @@
+// Tests for the runner layer: name-to-mode mapping, sweep grid shape
+// and ordering, and reproducibility across the parallel path.
+
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lcf::sim {
+namespace {
+
+SimConfig quick_config() {
+    SimConfig c;
+    c.ports = 8;
+    c.slots = 2000;
+    c.warmup_slots = 200;
+    c.seed = 3;
+    return c;
+}
+
+TEST(Runner, RunsEveryFigure12Configuration) {
+    for (const auto* name :
+         {"fifo", "outbuf", "pim", "islip", "wfront", "lcf_central",
+          "lcf_central_rr", "lcf_dist", "lcf_dist_rr"}) {
+        const auto r = run_named(name, quick_config(), "uniform", 0.5);
+        EXPECT_GT(r.delivered, 0u) << name;
+        EXPECT_GT(r.mean_delay, 0.9) << name;
+        EXPECT_NEAR(r.throughput, 0.5, 0.07) << name;
+    }
+}
+
+TEST(Runner, UnknownNameThrows) {
+    EXPECT_THROW(run_named("bogus", quick_config(), "uniform", 0.5),
+                 std::invalid_argument);
+}
+
+TEST(Runner, SweepReturnsConfigMajorOrder) {
+    const std::vector<std::string> names = {"islip", "outbuf"};
+    const std::vector<double> loads = {0.2, 0.4};
+    const auto points = sweep(names, loads, quick_config(), "uniform", {}, 2);
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].config_name, "islip");
+    EXPECT_DOUBLE_EQ(points[0].load, 0.2);
+    EXPECT_EQ(points[1].config_name, "islip");
+    EXPECT_DOUBLE_EQ(points[1].load, 0.4);
+    EXPECT_EQ(points[2].config_name, "outbuf");
+    EXPECT_EQ(points[3].config_name, "outbuf");
+    for (const auto& p : points) {
+        EXPECT_GT(p.result.delivered, 0u);
+    }
+}
+
+TEST(Runner, ParallelSweepMatchesSerialRuns) {
+    const std::vector<std::string> names = {"islip"};
+    const std::vector<double> loads = {0.3, 0.6};
+    const auto parallel = sweep(names, loads, quick_config(), "uniform", {}, 4);
+    for (const auto& p : parallel) {
+        const auto serial = run_named(p.config_name, quick_config(), "uniform",
+                                      p.load);
+        EXPECT_DOUBLE_EQ(p.result.mean_delay, serial.mean_delay);
+        EXPECT_EQ(p.result.delivered, serial.delivered);
+    }
+}
+
+TEST(Runner, Figure12LoadGridShape) {
+    const auto loads = figure12_loads();
+    ASSERT_FALSE(loads.empty());
+    EXPECT_NEAR(loads.front(), 0.05, 1e-12);
+    EXPECT_DOUBLE_EQ(loads.back(), 1.0);
+    for (std::size_t k = 1; k < loads.size(); ++k) {
+        EXPECT_GT(loads[k], loads[k - 1]);
+    }
+}
+
+}  // namespace
+}  // namespace lcf::sim

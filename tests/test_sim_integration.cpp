@@ -1,0 +1,134 @@
+// Integration tests reproducing the *qualitative* content of the
+// paper's evaluation (§6.3, Figure 12) at reduced scale so they run in
+// seconds:
+//   - fifo saturates near the Karol/Hluchyj/Morgan 58.6 % bound,
+//   - VOQ schedulers sustain high load, outbuf is the lower envelope,
+//   - lcf_central tracks outbuf most closely at high load,
+//   - the latency ordering of the main curves holds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "sim/runner.hpp"
+
+namespace lcf::sim {
+namespace {
+
+SimConfig paper_config(std::uint64_t slots = 20000) {
+    SimConfig c;
+    c.ports = 16;
+    c.voq_capacity = 256;
+    c.pq_capacity = 1000;
+    c.outbuf_capacity = 256;
+    c.slots = slots;
+    c.warmup_slots = slots / 10;
+    c.seed = 1234;
+    return c;
+}
+
+TEST(Integration, FifoSaturatesNearFiftyNinePercent) {
+    // Head-of-line blocking caps FIFO throughput at 2 - sqrt(2) = 0.586
+    // for large n; at full offered load the carried load must sit close
+    // to that bound and far from 1.
+    const auto r = run_named("fifo", paper_config(), "uniform", 1.0);
+    EXPECT_GT(r.throughput, 0.52);
+    EXPECT_LT(r.throughput, 0.64);
+}
+
+TEST(Integration, VoqSchedulersSustainHighLoad) {
+    for (const auto* name :
+         {"lcf_central", "lcf_central_rr", "lcf_dist", "lcf_dist_rr",
+          "islip", "wfront"}) {
+        const auto r = run_named(name, paper_config(), "uniform", 0.95);
+        EXPECT_GT(r.throughput, 0.90) << name;
+    }
+}
+
+TEST(Integration, OutbufCarriesFullLoad) {
+    const auto r = run_named("outbuf", paper_config(), "uniform", 0.98);
+    EXPECT_NEAR(r.throughput, 0.98, 0.02);
+}
+
+TEST(Integration, LatencyOrderingAtHighLoadMatchesFigure12) {
+    // At load 0.85 the paper's Figure 12 places: outbuf < lcf_central <
+    // (distributed / iterative schedulers) << fifo.
+    const double load = 0.85;
+    std::map<std::string, double> delay;
+    for (const auto* name :
+         {"outbuf", "lcf_central", "lcf_dist", "pim", "islip", "fifo"}) {
+        delay[name] =
+            run_named(name, paper_config(), "uniform", load).mean_delay;
+    }
+    EXPECT_LT(delay["outbuf"], delay["lcf_central"]);
+    EXPECT_LT(delay["lcf_central"], delay["lcf_dist"]);
+    EXPECT_LT(delay["lcf_central"], delay["pim"]);
+    EXPECT_LT(delay["lcf_central"], delay["islip"]);
+    EXPECT_GT(delay["fifo"], 2.0 * delay["islip"]);
+}
+
+TEST(Integration, LcfCentralTracksOutbufClosely) {
+    // "lcf_central comes closest to the performance of an output-
+    // buffered switch ... For high load, the latency for lcf_central is
+    // about 1.4 times the latency of outbuf."
+    const double load = 0.9;
+    const double outbuf =
+        run_named("outbuf", paper_config(), "uniform", load).mean_delay;
+    const double lcf =
+        run_named("lcf_central", paper_config(), "uniform", load).mean_delay;
+    EXPECT_GT(lcf / outbuf, 1.0);
+    EXPECT_LT(lcf / outbuf, 2.0);
+}
+
+TEST(Integration, LcfDistBeatsPimBelowPoint9) {
+    // "Compared with pim, lcf_dist has lower ... latencies for a load up
+    // to 0.9."
+    const double load = 0.8;
+    const double dist =
+        run_named("lcf_dist", paper_config(), "uniform", load).mean_delay;
+    const double pim =
+        run_named("pim", paper_config(), "uniform", load).mean_delay;
+    EXPECT_LT(dist, pim * 1.05);
+}
+
+TEST(Integration, LowLoadLatenciesNearlyIdentical) {
+    // "For low load, the latencies for the various schedulers differ
+    // very little."
+    const double load = 0.2;
+    double lo = 1e9, hi = 0.0;
+    for (const auto* name :
+         {"outbuf", "lcf_central", "lcf_central_rr", "lcf_dist", "pim",
+          "islip", "wfront"}) {
+        const double d =
+            run_named(name, paper_config(8000), "uniform", load).mean_delay;
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    EXPECT_LT(hi / lo, 1.3);
+}
+
+TEST(Integration, DelayGrowsMonotonicallyWithLoadForLcf) {
+    double prev = 0.0;
+    for (const double load : {0.3, 0.6, 0.8, 0.95}) {
+        const double d =
+            run_named("lcf_central", paper_config(8000), "uniform", load)
+                .mean_delay;
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(Integration, PermutationTrafficIsContentionFree) {
+    // Fixed-permutation traffic at full load needs no arbitration at
+    // all: any maximal scheduler delivers with delay ~1.
+    for (const auto* name : {"lcf_central", "islip", "wfront"}) {
+        const auto r =
+            run_named(name, paper_config(6000), "permutation", 1.0);
+        EXPECT_NEAR(r.mean_delay, 1.0, 0.25) << name;
+        EXPECT_GT(r.throughput, 0.95) << name;
+    }
+}
+
+}  // namespace
+}  // namespace lcf::sim

@@ -1,0 +1,197 @@
+// White-box tests for the switch simulator: delay accounting on exact
+// traces, queue plumbing (PG -> PQ -> VOQ), packet conservation, drop
+// behaviour at full buffers, and the three switch modes.
+
+#include "sim/switch_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "traffic/bernoulli.hpp"
+#include "traffic/hotspot.hpp"
+#include "traffic/trace.hpp"
+
+namespace lcf::sim {
+namespace {
+
+std::unique_ptr<sched::Scheduler> islip() {
+    return core::make_scheduler("islip");
+}
+
+SimConfig tiny(SwitchMode mode = SwitchMode::kVoq) {
+    SimConfig c;
+    c.ports = 4;
+    c.slots = 100;
+    c.warmup_slots = 0;
+    c.mode = mode;
+    return c;
+}
+
+TEST(SwitchSim, SinglePacketHasUnitDelay) {
+    auto c = tiny();
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::TraceTraffic>(
+                      std::vector<traffic::TraceEntry>{{10, 0, 2}}));
+    const auto r = sim.run();
+    EXPECT_EQ(r.generated, 1u);
+    EXPECT_EQ(r.delivered, 1u);
+    EXPECT_DOUBLE_EQ(r.mean_delay, 1.0);  // forwarded in its arrival slot
+}
+
+TEST(SwitchSim, HeadOfLineContentionSerialisesDeliveries) {
+    // Two packets for output 0 arrive in the same slot at different
+    // inputs; one departs with delay 1, the other waits one slot.
+    auto c = tiny();
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::TraceTraffic>(
+                      std::vector<traffic::TraceEntry>{{0, 0, 0}, {0, 1, 0}}));
+    const auto r = sim.run();
+    EXPECT_EQ(r.delivered, 2u);
+    EXPECT_DOUBLE_EQ(r.mean_delay, 1.5);
+}
+
+TEST(SwitchSim, VoqsEliminateHolBlockingOnCrossTraffic) {
+    // Input 0 queues a packet for the contended output 0 and one for the
+    // free output 1. With VOQs the second packet must not wait behind
+    // the first: both inputs' output-0 packets and the output-1 packet
+    // all flow without extra delay.
+    auto c = tiny();
+    SwitchSim voq_sim(c, islip(),
+                      std::make_unique<traffic::TraceTraffic>(
+                          std::vector<traffic::TraceEntry>{
+                              {0, 0, 0}, {0, 1, 0}, {1, 0, 1}}));
+    const auto r = voq_sim.run();
+    EXPECT_EQ(r.delivered, 3u);
+    // Delays: 1 (winner of output 0), 2 (loser), 1 (output 1 packet).
+    EXPECT_NEAR(r.mean_delay, 4.0 / 3.0, 1e-9);
+}
+
+TEST(SwitchSim, FifoModeSuffersHolBlocking) {
+    // Same trace in FIFO mode: input 0's output-1 packet sits behind its
+    // head-of-line packet. If input 0 loses the slot-0 arbitration for
+    // output 0, the trailing packet is delayed an extra slot.
+    auto c = tiny(SwitchMode::kFifo);
+    SwitchSim sim(c, core::make_scheduler("fifo"),
+                  std::make_unique<traffic::TraceTraffic>(
+                      std::vector<traffic::TraceEntry>{
+                          {0, 0, 0}, {0, 1, 0}, {1, 0, 1}}));
+    const auto r = sim.run();
+    EXPECT_EQ(r.delivered, 3u);
+    // fifo's grant pointers start at input 0, so input 0 wins output 0
+    // in slot 0 (delay 1); input 1 gets it in slot 1 (delay 2); input
+    // 0's second packet then goes in slot 1 (delay 1). Mean 4/3 — but
+    // had input 0 lost, the mean would be higher. Assert the exact
+    // deterministic outcome.
+    EXPECT_NEAR(r.mean_delay, 4.0 / 3.0, 1e-9);
+}
+
+TEST(SwitchSim, OutputBufferedModeNeedsNoScheduler) {
+    auto c = tiny(SwitchMode::kOutputBuffered);
+    SwitchSim sim(c, nullptr,
+                  std::make_unique<traffic::TraceTraffic>(
+                      std::vector<traffic::TraceEntry>{
+                          {0, 0, 0}, {0, 1, 0}, {0, 2, 0}}));
+    const auto r = sim.run();
+    // All three packets reach output 0's buffer in slot 0 and drain one
+    // per slot: delays 1, 2, 3.
+    EXPECT_EQ(r.delivered, 3u);
+    EXPECT_DOUBLE_EQ(r.mean_delay, 2.0);
+}
+
+TEST(SwitchSim, PacketConservation) {
+    SimConfig c;
+    c.ports = 8;
+    c.slots = 5000;
+    c.warmup_slots = 0;
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::BernoulliUniform>(0.7));
+    sim.run();
+    // generated = delivered + dropped + still-buffered.
+    std::size_t buffered = 0;
+    for (std::size_t i = 0; i < c.ports; ++i) {
+        buffered += sim.voq(i).total_buffered();
+        buffered += sim.input_queue(i).size();
+    }
+    const auto& m = sim.metrics();
+    EXPECT_EQ(m.generated(), m.delivered() + m.dropped() + buffered);
+}
+
+TEST(SwitchSim, DropsWhenPacketQueueOverflows) {
+    // One-entry VOQs and a tiny PQ, saturated input: drops must occur
+    // and be counted.
+    SimConfig c;
+    c.ports = 2;
+    c.voq_capacity = 1;
+    c.pq_capacity = 2;
+    c.slots = 200;
+    c.warmup_slots = 0;
+    // Both inputs always send to output 0: capacity 1/slot vs offered 2.
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::HotspotTraffic>(1.0, 1.0, 0));
+    const auto r = sim.run();
+    EXPECT_GT(r.dropped, 0u);
+    EXPECT_EQ(r.generated, 400u);
+    EXPECT_NEAR(r.throughput, 0.5, 0.05);  // one of two outputs busy
+}
+
+TEST(SwitchSim, WarmupExcludesEarlyPacketsFromDelayStats) {
+    SimConfig c;
+    c.ports = 4;
+    c.slots = 60;
+    c.warmup_slots = 50;
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::TraceTraffic>(
+                      std::vector<traffic::TraceEntry>{{1, 0, 0},
+                                                       {55, 1, 2}}));
+    const auto r = sim.run();
+    EXPECT_EQ(r.delivered, 2u);
+    EXPECT_EQ(r.measured, 1u);  // only the post-warm-up packet counts
+    EXPECT_DOUBLE_EQ(r.mean_delay, 1.0);
+}
+
+TEST(SwitchSim, ServiceMatrixRecordsFlows) {
+    SimConfig c;
+    c.ports = 4;
+    c.slots = 50;
+    c.warmup_slots = 0;
+    c.record_service_matrix = true;
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::TraceTraffic>(
+                      std::vector<traffic::TraceEntry>{
+                          {0, 0, 2}, {1, 0, 2}, {2, 3, 1}}));
+    const auto r = sim.run();
+    EXPECT_EQ(r.service_of(0, 2), 2u);
+    EXPECT_EQ(r.service_of(3, 1), 1u);
+    EXPECT_EQ(r.service_of(1, 1), 0u);
+}
+
+TEST(SwitchSim, StepwiseIntrospection) {
+    auto c = tiny();
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::TraceTraffic>(
+                      std::vector<traffic::TraceEntry>{{0, 2, 3}}));
+    EXPECT_EQ(sim.current_slot(), 0u);
+    sim.step();
+    EXPECT_EQ(sim.current_slot(), 1u);
+    // The packet was forwarded in slot 0; the matching shows it.
+    EXPECT_EQ(sim.last_matching().output_of(2), 3);
+}
+
+TEST(SwitchSim, RejectsInvalidConstruction) {
+    auto c = tiny();
+    EXPECT_THROW(
+        SwitchSim(c, islip(), nullptr),
+        std::invalid_argument);
+    EXPECT_THROW(
+        SwitchSim(c, nullptr,
+                  std::make_unique<traffic::BernoulliUniform>(0.1)),
+        std::invalid_argument);
+    c.ports = 0;
+    EXPECT_THROW(
+        SwitchSim(c, islip(),
+                  std::make_unique<traffic::BernoulliUniform>(0.1)),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcf::sim

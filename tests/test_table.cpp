@@ -1,0 +1,54 @@
+// Tests for the ASCII table renderer: alignment, header rule, padding.
+
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lcf::util {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+    AsciiTable t;
+    t.header({"name", "value"});
+    t.add_row({"x", "10"});
+    t.add_row({"longer", "7"});
+    std::ostringstream out;
+    t.print(out);
+    const std::string expected =
+        "name    value\n"
+        "-------------\n"
+        "x       10   \n"
+        "longer  7    \n";
+    EXPECT_EQ(out.str(), expected);
+}
+
+TEST(AsciiTable, ShortRowsPad) {
+    AsciiTable t;
+    t.header({"a", "b", "c"});
+    t.add_row({"1"});
+    std::ostringstream out;
+    t.print(out);
+    EXPECT_NE(out.str().find("1"), std::string::npos);
+    // Three columns in every printed row.
+    const auto first_line_end = out.str().find('\n');
+    ASSERT_NE(first_line_end, std::string::npos);
+}
+
+TEST(AsciiTable, NoHeaderNoRule) {
+    AsciiTable t;
+    t.add_row({"only", "data"});
+    std::ostringstream out;
+    t.print(out);
+    EXPECT_EQ(out.str().find('-'), std::string::npos);
+}
+
+TEST(AsciiTable, NumFormatsPrecision) {
+    EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+    EXPECT_EQ(AsciiTable::num(1.5, 3), "1.500");
+}
+
+}  // namespace
+}  // namespace lcf::util

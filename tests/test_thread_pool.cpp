@@ -1,0 +1,90 @@
+// Tests for the thread pool: task execution, parallel_for coverage,
+// exception propagation, and clean shutdown with queued work.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace lcf::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(500);
+    pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+    ThreadPool pool(2);
+    auto f = pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughParallelFor) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(0, 10,
+                                   [](std::size_t i) {
+                                       if (i == 3) {
+                                           throw std::runtime_error("boom");
+                                       }
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&counter] { ++counter; });
+        }
+        // Destructor must wait for all 50.
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SizeReportsWorkers) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    ThreadPool defaulted(0);
+    EXPECT_GE(defaulted.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+    ThreadPool pool(4);
+    std::vector<long long> values(1000);
+    std::iota(values.begin(), values.end(), 1);
+    std::atomic<long long> sum{0};
+    pool.parallel_for(0, values.size(),
+                      [&](std::size_t i) { sum += values[i]; });
+    EXPECT_EQ(sum.load(), 1000LL * 1001 / 2);
+}
+
+}  // namespace
+}  // namespace lcf::util
