@@ -34,6 +34,8 @@ int run(int argc, const char* const* argv) {
     std::uint64_t threads = 0;
     std::string traffic = "uniform";
     std::string csv_path;
+    bool paranoid = false;
+    std::string trace_path;
 
     lcf::util::CliParser cli(
         "Figure 12: mean queuing delay vs load, nine configurations");
@@ -44,7 +46,13 @@ int run(int argc, const char* const* argv) {
         .flag("seed", "simulation seed", &seed)
         .flag("threads", "worker threads (0 = all cores)", &threads)
         .flag("traffic", "traffic pattern", &traffic)
-        .flag("csv", "also write the series to this CSV file", &csv_path);
+        .flag("csv", "also write the series to this CSV file", &csv_path)
+        .flag("paranoid", "validate scheduler invariants every cycle",
+              &paranoid)
+        .flag("trace",
+              "record the lcf_central_rr run at the highest load and write "
+              "its per-cycle trace to this CSV file",
+              &trace_path);
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
     lcf::sim::SimConfig config;
@@ -52,6 +60,7 @@ int run(int argc, const char* const* argv) {
     config.slots = slots;
     config.warmup_slots = slots / 10;
     config.seed = seed;
+    config.paranoid = paranoid;
 
     const auto names = lcf::core::figure12_names();
     const auto loads = lcf::sim::figure12_loads();
@@ -158,17 +167,57 @@ int run(int argc, const char* const* argv) {
               << AsciiTable::num(delay["wfront"][hi], 2)
               << "  (paper: similar)\n";
 
+    if (paranoid) {
+        const auto totals = lcf::sim::aggregate_counters(points);
+        std::cout << "\nParanoid mode: " << totals.cycles
+                  << " scheduling cycles validated, "
+                  << totals.paranoid_violations << " violations, max "
+                  << "starvation age " << totals.max_starvation_age << "\n";
+    }
+
     if (!csv_path.empty()) {
         std::ofstream out(csv_path);
+        if (!out) {
+            std::cerr << "error: cannot write CSV file " << csv_path << "\n";
+            return 1;
+        }
         lcf::util::CsvWriter csv(out);
         csv.row("traffic", "scheduler", "load", "mean_delay", "p99_delay",
-                "throughput", "dropped");
+                "throughput", "dropped", "sched_cycles", "mean_matching",
+                "max_starvation_age");
         for (const auto& p : points) {
             csv.row(traffic, p.config_name, p.load, p.result.mean_delay,
                     p.result.p99_delay, p.result.throughput,
-                    p.result.dropped);
+                    p.result.dropped, p.result.sched.cycles,
+                    p.result.sched.mean_matching(),
+                    p.result.sched.max_starvation_age);
         }
         std::cout << "\nCSV series written to " << csv_path << "\n";
+    }
+
+    if (!trace_path.empty()) {
+        // One extra instrumented run: the paper's flagship scheduler at
+        // the sweep's highest load, with the trace ring sized to keep
+        // every cycle.
+        lcf::sim::SimConfig traced = config;
+        traced.trace_capacity = traced.slots;
+        auto scheduler = lcf::core::make_scheduler(
+            "lcf_central_rr",
+            lcf::sched::SchedulerConfig{.iterations = iterations, .seed = seed});
+        auto gen = lcf::traffic::make_traffic(traffic, loads.back());
+        lcf::sim::SwitchSim sim(traced, std::move(scheduler), std::move(gen));
+        sim.run();
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::cerr << "error: cannot write trace file " << trace_path
+                      << "\n";
+            return 1;
+        }
+        sim.trace()->export_csv(out);
+        std::cout << "Per-cycle trace of lcf_central_rr at load "
+                  << AsciiTable::num(loads.back(), 2) << " written to "
+                  << trace_path << " (" << sim.trace()->size()
+                  << " cycles)\n";
     }
     return 0;
 }

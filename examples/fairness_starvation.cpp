@@ -7,9 +7,11 @@
 
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "core/factory.hpp"
+#include "obs/paranoid_checker.hpp"
 #include "sched/scheduler.hpp"
 #include "util/cli.hpp"
 
@@ -19,13 +21,26 @@ using lcf::sched::Matching;
 using lcf::sched::RequestMatrix;
 
 void show_service(lcf::sched::Scheduler& s, const RequestMatrix& r,
-                  std::size_t cycles) {
+                  std::size_t cycles, bool paranoid) {
     const std::size_t n = r.inputs();
     std::vector<std::uint64_t> counts(n * n, 0);
     std::uint64_t grants = 0;
+    // Pure LCF and maxsize starve flows by design here, so only the
+    // structural invariants are checked — the fairness window applies
+    // to the round-robin variants alone (options_for knows which).
+    std::optional<lcf::obs::ParanoidChecker> checker;
+    if (paranoid) {
+        checker.emplace(lcf::obs::ParanoidChecker::options_for(
+            s.name(), s.iteration_limit()));
+        checker->reset(n, n);
+    }
     Matching m;
     for (std::size_t c = 0; c < cycles; ++c) {
         s.schedule(r, m);
+        if (checker) {
+            checker->check_cycle(r, m);
+            checker->check_iterations(s.last_iterations());
+        }
         for (std::size_t i = 0; i < n; ++i) {
             if (m.output_of(i) != lcf::sched::kUnmatched) {
                 ++counts[i * n + static_cast<std::size_t>(m.output_of(i))];
@@ -49,16 +64,26 @@ void show_service(lcf::sched::Scheduler& s, const RequestMatrix& r,
     }
     std::cout << "  mean grants/cycle: "
               << static_cast<double>(grants) / static_cast<double>(cycles)
-              << "   (* = starved flow)\n\n";
+              << "   (* = starved flow)\n";
+    if (checker) {
+        std::cout << "  paranoid: " << checker->cycles_checked()
+                  << " cycles validated, " << checker->violation_count()
+                  << " violations, max starvation age "
+                  << checker->max_starvation_age() << "\n";
+    }
+    std::cout << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     std::uint64_t cycles = 16000;
+    bool paranoid = false;
     lcf::util::CliParser cli("Starvation demo on the paper's Figure 3 "
                              "backlog");
-    cli.flag("cycles", "scheduling cycles to run", &cycles);
+    cli.flag("cycles", "scheduling cycles to run", &cycles)
+        .flag("paranoid", "validate scheduler invariants every cycle",
+              &paranoid);
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
     // The Figure 3 request pattern, held persistent: every VOQ that is
@@ -78,7 +103,7 @@ int main(int argc, char** argv) {
         auto s = lcf::core::make_scheduler(name);
         s->reset(4, 4);
         std::cout << name << ":\n";
-        show_service(*s, backlog, cycles);
+        show_service(*s, backlog, cycles, paranoid);
     }
 
     std::cout << "lcf_central_rr trades ~maximum matchings for the hard "

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     std::uint64_t slots = 50000;
     std::uint64_t iterations = 4;
     std::uint64_t threads = 0;
+    bool paranoid = false;
 
     lcf::util::CliParser cli("Custom latency-vs-load sweep");
     cli.flag("schedulers", "comma-separated Figure 12 names", &schedulers)
@@ -52,7 +53,9 @@ int main(int argc, char** argv) {
         .flag("ports", "switch radix", &ports)
         .flag("slots", "slots per grid point", &slots)
         .flag("iterations", "iterative-scheduler iterations", &iterations)
-        .flag("threads", "worker threads (0 = all cores)", &threads);
+        .flag("threads", "worker threads (0 = all cores)", &threads)
+        .flag("paranoid", "validate scheduler invariants every cycle",
+              &paranoid);
     if (!cli.parse(argc, argv)) return cli.exit_code();
 
     const auto names = split(schedulers);
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
     config.ports = ports;
     config.slots = slots;
     config.warmup_slots = slots / 10;
+    config.paranoid = paranoid;
 
     const auto points = lcf::sim::sweep(
         names, loads, config, traffic,
@@ -87,8 +91,20 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
 
+    if (paranoid) {
+        const auto totals = lcf::sim::aggregate_counters(points);
+        std::cout << "paranoid: " << totals.cycles
+                  << " scheduling cycles validated across all points, "
+                  << totals.paranoid_violations << " violations, max "
+                  << "starvation age " << totals.max_starvation_age << "\n";
+    }
+
     if (!csv_path.empty()) {
         std::ofstream out(csv_path);
+        if (!out) {
+            std::cerr << "error: cannot write CSV file " << csv_path << "\n";
+            return 1;
+        }
         lcf::util::CsvWriter csv(out);
         csv.row("scheduler", "traffic", "load", "mean_delay", "p50_delay",
                 "p99_delay", "throughput", "generated", "delivered",

@@ -6,14 +6,27 @@
 //   $ cmake -B build -G Ninja && cmake --build build
 //   $ ./build/examples/quickstart
 
+#include <fstream>
 #include <iostream>
+#include <string_view>
 
+#include "core/factory.hpp"
 #include "core/lcf_central.hpp"
 #include "sim/runner.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace lcf;
+
+    bool paranoid = false;
+    std::string trace_path;
+    util::CliParser cli("Quickstart: Figure 3 by hand + a 16-port simulation");
+    cli.flag("paranoid", "validate scheduler invariants every cycle",
+             &paranoid)
+        .flag("trace", "write lcf_central's per-cycle trace to this JSONL file",
+              &trace_path);
+    if (!cli.parse(argc, argv)) return cli.exit_code();
 
     // ------------------------------------------------------------------
     // 1. One scheduling cycle, by hand — the paper's Figure 3.
@@ -53,6 +66,7 @@ int main() {
     config.ports = 16;
     config.slots = 50000;
     config.warmup_slots = 5000;
+    config.paranoid = paranoid;
 
     for (const auto* name : {"lcf_central", "islip", "outbuf"}) {
         const auto result = sim::run_named(name, config, "uniform", 0.9);
@@ -62,6 +76,30 @@ int main() {
                   << util::AsciiTable::num(result.p99_delay, 0)
                   << ", throughput "
                   << util::AsciiTable::num(result.throughput, 3) << "\n";
+        if (paranoid && name != std::string_view("outbuf")) {
+            std::cout << "  paranoid: " << result.sched.cycles
+                      << " cycles validated, "
+                      << result.sched.paranoid_violations << " violations\n";
+        }
+    }
+
+    if (!trace_path.empty()) {
+        sim::SimConfig traced = config;
+        traced.slots = 1000;
+        traced.warmup_slots = 0;
+        traced.trace_capacity = traced.slots;
+        sim::SwitchSim sim(traced, core::make_scheduler("lcf_central"),
+                           traffic::make_traffic("uniform", 0.9));
+        sim.run();
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::cerr << "error: cannot write trace file " << trace_path
+                      << "\n";
+            return 1;
+        }
+        sim.trace()->export_jsonl(out);
+        std::cout << "\nPer-cycle trace (" << sim.trace()->size()
+                  << " cycles) written to " << trace_path << "\n";
     }
     std::cout << "\nThe LCF scheduler tracks the output-buffered ideal far "
                  "closer than iSLIP at high load -- the paper's headline "

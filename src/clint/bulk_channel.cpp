@@ -32,6 +32,14 @@ BulkChannelSim::BulkChannelSim(
                                 util::derive_seed(config_.seed, 200 + h));
     }
     switch_crc_flag_.assign(config_.hosts, false);
+    if (config_.paranoid) {
+        // Default options only: the diagonal-fairness check is
+        // deliberately left off because precalculated multicast claims
+        // (§4.3) may occupy an output — including the diagonal's —
+        // indefinitely without violating the protocol.
+        checker_.emplace(obs::ParanoidOptions{});
+        checker_->reset(config_.hosts, config_.hosts);
+    }
     // Independent-bit corruption over the nominal payload / ack sizes.
     p_data_corrupt_ =
         1.0 - std::pow(1.0 - config_.bit_error_rate,
@@ -210,6 +218,11 @@ void BulkChannelSim::step_scheduling() {
 
     core::MulticastResult schedule;
     scheduler_.schedule_with_precalc(requests, precalc, schedule);
+    // Observe only the unicast matching: every one of its grants is
+    // backed by a request bit, while precalculated fan-out connections
+    // are admitted from the `pre` claims outside the request matrix.
+    counters_.observe_cycle(requests.total(), schedule.unicast.size());
+    if (checker_) checker_->check_cycle(requests, schedule.unicast);
 
     for (std::size_t h = 0; h < n; ++h) {
         GrantPacket gnt;
@@ -279,6 +292,12 @@ BulkChannelResult BulkChannelSim::run() {
 
 BulkChannelResult BulkChannelSim::result() const {
     BulkChannelResult r = stats_;
+    r.sched = counters_;
+    if (checker_) {
+        r.sched.max_starvation_age = std::max(r.sched.max_starvation_age,
+                                              checker_->max_starvation_age());
+        r.sched.paranoid_violations = checker_->violation_count();
+    }
     r.mean_delay = delay_.mean();
     r.max_delay = delay_.count() ? delay_.max() : 0.0;
     const std::uint64_t measured_slots =

@@ -25,6 +25,7 @@
 #include "clint/link.hpp"
 #include "clint/packets.hpp"
 #include "core/lcf_central.hpp"
+#include "obs/paranoid_checker.hpp"
 #include "sim/voq.hpp"
 #include "traffic/traffic.hpp"
 #include "util/stats.hpp"
@@ -44,6 +45,11 @@ struct BulkChannelConfig {
     /// bit-exactly through their real encodings).
     std::size_t payload_bits = 16384;
     std::uint64_t ack_timeout = 4;  ///< slots before an unacked transfer retries
+    /// Validate the scheduler's unicast matching every slot with an
+    /// obs::ParanoidChecker (diagonal-fairness checking stays off:
+    /// precalculated multicast claims may legitimately occupy an output
+    /// indefinitely). Violations throw std::logic_error from step().
+    bool paranoid = false;
 };
 
 /// Measurements of one bulk-channel run.
@@ -61,6 +67,8 @@ struct BulkChannelResult {
     std::uint64_t duplicates = 0;  ///< retransmits of already-delivered packets
     std::uint64_t multicast_copies = 0;  ///< per-target precalc deliveries
     double goodput = 0.0;  ///< unique deliveries per host per post-warm-up slot
+    /// Scheduler counters over the unicast matchings of every slot.
+    obs::SchedCounters sched;
 };
 
 /// Discrete-event simulation of the bulk channel.
@@ -102,6 +110,12 @@ public:
     /// retransmit queues, unacknowledged transfers, and queued
     /// multicasts. Supports conservation checks in the test suite.
     [[nodiscard]] std::size_t buffered_total() const noexcept;
+
+    /// Invariant checker (engaged iff config.paranoid).
+    [[nodiscard]] const std::optional<obs::ParanoidChecker>& checker()
+        const noexcept {
+        return checker_;
+    }
 
     /// Acknowledgment packets emitted during the most recent step(), as
     /// (acking target, acked initiator) pairs. §4.1 routes these over
@@ -155,6 +169,9 @@ private:
     std::vector<std::pair<std::size_t, std::size_t>> last_acks_;
     util::RunningStat delay_;
     std::vector<bool> switch_crc_flag_;  // CRCErr to report per host
+
+    std::optional<obs::ParanoidChecker> checker_;
+    obs::SchedCounters counters_;
 
     std::uint64_t slot_ = 0;
     std::uint64_t next_packet_id_ = 0;

@@ -47,7 +47,10 @@ std::unique_ptr<sched::Scheduler> make_scheduler(
         return std::make_unique<LcfDistScheduler>(LcfDistOptions{
             .iterations = config.iterations, .round_robin = true});
     }
-    throw std::invalid_argument("unknown scheduler name: " + std::string(name));
+    std::string message = "unknown scheduler name: " + std::string(name) +
+                          " (valid names:";
+    for (const auto& valid : scheduler_names()) message += " " + valid;
+    throw std::invalid_argument(message + ")");
 }
 
 bool is_scheduler_name(std::string_view name) {

@@ -11,9 +11,9 @@ void LcfDistScheduler::reset(std::size_t /*inputs*/, std::size_t /*outputs*/) {
     cycle_ = 0;
 }
 
-void LcfDistScheduler::iterate(const sched::RequestMatrix& requests,
-                               std::size_t iterations,
-                               sched::Matching& out) const {
+std::size_t LcfDistScheduler::iterate(const sched::RequestMatrix& requests,
+                                      std::size_t iterations,
+                                      sched::Matching& out) const {
     const std::size_t n_in = requests.inputs();
     const std::size_t n_out = requests.outputs();
 
@@ -21,7 +21,9 @@ void LcfDistScheduler::iterate(const sched::RequestMatrix& requests,
     std::vector<std::size_t> ngt(n_out, 0);
     std::vector<std::int32_t> grant_to(n_out, sched::kUnmatched);
 
+    std::size_t executed = 0;
     for (std::size_t iter = 0; iter < iterations; ++iter) {
+        ++executed;
         // Request: NRQ of an unmatched initiator = number of its requests
         // to still-unmatched targets (its remaining choices).
         for (std::size_t i = 0; i < n_in; ++i) {
@@ -76,6 +78,7 @@ void LcfDistScheduler::iterate(const sched::RequestMatrix& requests,
             }
         }
     }
+    return executed;
 }
 
 void LcfDistScheduler::schedule(const sched::RequestMatrix& requests,
@@ -83,6 +86,7 @@ void LcfDistScheduler::schedule(const sched::RequestMatrix& requests,
     const std::size_t n_in = requests.inputs();
     const std::size_t n_out = requests.outputs();
     out.reset(n_in, n_out);
+    last_iterations_ = 0;
     if (n_in == 0 || n_out == 0) return;
 
     if (options_.round_robin && requests.get(rr_input_, rr_output_)) {
@@ -91,7 +95,7 @@ void LcfDistScheduler::schedule(const sched::RequestMatrix& requests,
         out.match(rr_input_, rr_output_);
     }
 
-    iterate(requests, options_.iterations, out);
+    last_iterations_ = iterate(requests, options_.iterations, out);
 
     // Advance per-cycle round-robin state: the RR position walks all n²
     // matrix positions; the tie-break chains rotate by one.

@@ -51,11 +51,20 @@ public:
         return options_.round_robin ? "lcf_dist_rr" : "lcf_dist";
     }
 
-    /// Run exactly `iterations` iterations on `requests` starting from the
+    /// Run up to `iterations` iterations on `requests` starting from the
     /// partial matching `out` (exposed so tests can single-step the
-    /// Figure 9 example). Does not advance round-robin state.
-    void iterate(const sched::RequestMatrix& requests, std::size_t iterations,
-                 sched::Matching& out) const;
+    /// Figure 9 example). Does not advance round-robin state. Returns
+    /// the number of iterations actually executed (fewer than the budget
+    /// when the matcher converges early).
+    std::size_t iterate(const sched::RequestMatrix& requests,
+                        std::size_t iterations, sched::Matching& out) const;
+
+    [[nodiscard]] std::size_t last_iterations() const noexcept override {
+        return last_iterations_;
+    }
+    [[nodiscard]] std::size_t iteration_limit() const noexcept override {
+        return options_.iterations;
+    }
 
     /// Current round-robin position (exposed for tests).
     [[nodiscard]] std::pair<std::size_t, std::size_t> rr_position() const noexcept {
@@ -71,6 +80,7 @@ private:
     std::size_t rr_input_ = 0;
     std::size_t rr_output_ = 0;
     std::size_t cycle_ = 0;  // drives tie-break pointer rotation
+    std::size_t last_iterations_ = 0;
 };
 
 }  // namespace lcf::core

@@ -1,0 +1,37 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+
+namespace lcf::obs {
+
+void SchedCounters::observe_cycle(std::uint64_t request_bits,
+                                  std::uint64_t matching_size) noexcept {
+    ++cycles;
+    requests += request_bits;
+    grants += matching_size;
+    if (matching_size == 0) ++empty_cycles;
+    max_matching = std::max(max_matching, matching_size);
+}
+
+void SchedCounters::merge(const SchedCounters& other) noexcept {
+    cycles += other.cycles;
+    requests += other.requests;
+    grants += other.grants;
+    empty_cycles += other.empty_cycles;
+    max_matching = std::max(max_matching, other.max_matching);
+    max_starvation_age = std::max(max_starvation_age, other.max_starvation_age);
+    paranoid_violations += other.paranoid_violations;
+}
+
+double SchedCounters::mean_matching() const noexcept {
+    return cycles ? static_cast<double>(grants) / static_cast<double>(cycles)
+                  : 0.0;
+}
+
+double SchedCounters::grant_fraction() const noexcept {
+    return requests ? static_cast<double>(grants) /
+                          static_cast<double>(requests)
+                    : 0.0;
+}
+
+}  // namespace lcf::obs

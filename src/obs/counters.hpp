@@ -1,0 +1,44 @@
+#pragma once
+// Structured per-run scheduler counters: the cheap, always-on layer of
+// the observability subsystem. One SchedCounters instance accompanies
+// every simulated switch (and every Clint bulk channel); sweep results
+// merge them across worker threads, so fleet-wide grant statistics stay
+// exact regardless of how the grid was parallelised.
+
+#include <cstdint>
+
+namespace lcf::obs {
+
+/// Aggregated per-cycle scheduling statistics. All fields are plain
+/// sums/extrema so that merge() is associative and commutative — the
+/// property the multi-threaded sweep aggregation relies on.
+struct SchedCounters {
+    std::uint64_t cycles = 0;        ///< scheduling cycles observed
+    std::uint64_t requests = 0;      ///< request bits summed over cycles
+    std::uint64_t grants = 0;        ///< matched pairs summed over cycles
+    std::uint64_t empty_cycles = 0;  ///< cycles with an empty matching
+    std::uint64_t max_matching = 0;  ///< largest single-cycle matching
+    /// Longest observed streak of cycles a (input, output) pair requested
+    /// continuously without being granted. Only tracked when a SchedTrace
+    /// or ParanoidChecker watches the run; 0 otherwise.
+    std::uint64_t max_starvation_age = 0;
+    /// Invariant violations found by the ParanoidChecker (0 unless
+    /// paranoid mode ran with throwing disabled).
+    std::uint64_t paranoid_violations = 0;
+
+    /// Fold one scheduling cycle into the counters.
+    void observe_cycle(std::uint64_t request_bits,
+                       std::uint64_t matching_size) noexcept;
+    /// Combine counters from another run or worker thread.
+    void merge(const SchedCounters& other) noexcept;
+
+    /// Mean matching size per cycle (0 when no cycles ran).
+    [[nodiscard]] double mean_matching() const noexcept;
+    /// Fraction of offered request bits that were granted, in [0, 1].
+    [[nodiscard]] double grant_fraction() const noexcept;
+
+    friend bool operator==(const SchedCounters&,
+                           const SchedCounters&) = default;
+};
+
+}  // namespace lcf::obs

@@ -18,7 +18,9 @@ void IslipScheduler::schedule(const RequestMatrix& requests, Matching& out) {
     if (accept_ptr_.size() != n_in) accept_ptr_.assign(n_in, 0);
     grant_to_.assign(n_out, kUnmatched);
 
+    last_iterations_ = 0;
     for (std::size_t iter = 0; iter < iterations_; ++iter) {
+        ++last_iterations_;
         // Grant: each unmatched output grants the first unmatched
         // requesting input at or after its pointer. Pointers are NOT
         // moved here; they move only on first-iteration accepts.

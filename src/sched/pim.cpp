@@ -16,7 +16,9 @@ void PimScheduler::schedule(const RequestMatrix& requests, Matching& out) {
     out.reset(n_in, n_out);
     if (grants_.size() != n_in) grants_.assign(n_in, {});
 
+    last_iterations_ = 0;
     for (std::size_t iter = 0; iter < iterations_; ++iter) {
+        ++last_iterations_;
         // Grant: each unmatched output picks uniformly at random among the
         // unmatched inputs requesting it (reservoir sampling over the
         // column avoids materialising contender lists).

@@ -22,9 +22,16 @@ public:
     [[nodiscard]] std::string_view name() const noexcept override {
         return "pim";
     }
+    [[nodiscard]] std::size_t last_iterations() const noexcept override {
+        return last_iterations_;
+    }
+    [[nodiscard]] std::size_t iteration_limit() const noexcept override {
+        return iterations_;
+    }
 
 private:
     std::size_t iterations_;
+    std::size_t last_iterations_ = 0;
     util::Xoshiro256 rng_;
     std::uint64_t seed_;
     // Scratch reused across slots to avoid per-slot allocation.

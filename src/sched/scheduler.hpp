@@ -45,6 +45,18 @@ public:
     /// names used in the paper's Figure 12 legend.
     [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
+    /// Iterations executed by the most recent schedule() call (1 for
+    /// single-pass algorithms). Iterative matchers override this so the
+    /// observability layer can verify they respect their budget.
+    [[nodiscard]] virtual std::size_t last_iterations() const noexcept {
+        return 1;
+    }
+    /// Configured iteration cap, or 0 when the algorithm is not
+    /// iteration-limited.
+    [[nodiscard]] virtual std::size_t iteration_limit() const noexcept {
+        return 0;
+    }
+
     /// Weight-aware schedulers (e.g. iLQF) return true; the simulator
     /// then calls observe_queue_lengths() before every schedule().
     [[nodiscard]] virtual bool wants_queue_lengths() const noexcept {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
 
@@ -81,6 +82,11 @@ struct SimResult {
     double mean_choices = 0.0;
     std::vector<std::uint64_t> service;  ///< inputs × outputs, may be empty
     std::size_t ports = 0;
+    /// Structured scheduler counters for this run (always collected;
+    /// max_starvation_age and paranoid_violations are populated only
+    /// when tracing or paranoid mode observed the run). Mergeable across
+    /// the sweep's worker threads via obs::SchedCounters::merge.
+    obs::SchedCounters sched;
 
     /// Service count of flow [input, output] (0 when not recorded).
     [[nodiscard]] std::uint64_t service_of(std::size_t input,

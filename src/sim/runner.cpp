@@ -1,5 +1,7 @@
 #include "sim/runner.hpp"
 
+#include <stdexcept>
+
 #include "core/factory.hpp"
 #include "util/thread_pool.hpp"
 
@@ -8,6 +10,22 @@ namespace lcf::sim {
 SimResult run_named(std::string_view config_name, const SimConfig& base,
                     std::string_view traffic_name, double load,
                     const sched::SchedulerConfig& sched_config) {
+    if (config_name != "outbuf" && !core::is_scheduler_name(config_name)) {
+        std::string message = "unknown configuration name: " +
+                              std::string(config_name) + " (valid names: outbuf";
+        for (const auto& valid : core::scheduler_names()) {
+            message += " " + valid;
+        }
+        throw std::invalid_argument(message + ")");
+    }
+    if (!traffic::is_traffic_name(traffic_name)) {
+        std::string message = "unknown traffic name: " +
+                              std::string(traffic_name) + " (valid names:";
+        for (const auto& valid : traffic::traffic_names()) {
+            message += " " + valid;
+        }
+        throw std::invalid_argument(message + ")");
+    }
     SimConfig config = base;
     std::unique_ptr<sched::Scheduler> scheduler;
     if (config_name == "outbuf") {
@@ -52,6 +70,12 @@ std::vector<double> figure12_loads() {
     }
     loads.insert(loads.end(), {0.92, 0.94, 0.96, 0.98, 1.0});
     return loads;
+}
+
+obs::SchedCounters aggregate_counters(const std::vector<SweepPoint>& points) {
+    obs::SchedCounters total;
+    for (const auto& point : points) total.merge(point.result.sched);
+    return total;
 }
 
 }  // namespace lcf::sim

@@ -17,7 +17,8 @@ namespace lcf::sim {
 /// Run one simulation for the Figure 12 configuration `config_name`
 /// ("fifo"/"outbuf" select their switch modes, everything else runs a
 /// VOQ switch with that scheduler) under `traffic_name` traffic at
-/// `load`. `base.mode` is overridden as needed.
+/// `load`. `base.mode` is overridden as needed. Unknown configuration
+/// or traffic names throw std::invalid_argument listing the valid ones.
 SimResult run_named(std::string_view config_name, const SimConfig& base,
                     std::string_view traffic_name, double load,
                     const sched::SchedulerConfig& sched_config = {});
@@ -42,5 +43,10 @@ std::vector<SweepPoint> sweep(const std::vector<std::string>& config_names,
 /// The load grid of Figure 12: 0.05 steps up to 0.9, then finer steps
 /// through the high-load knee up to 1.0.
 std::vector<double> figure12_loads();
+
+/// Merge the per-run scheduler counters of every sweep point into one
+/// aggregate (totals summed, maxima kept), regardless of which worker
+/// thread produced each point.
+obs::SchedCounters aggregate_counters(const std::vector<SweepPoint>& points);
 
 }  // namespace lcf::sim

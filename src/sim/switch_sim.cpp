@@ -1,5 +1,6 @@
 #include "sim/switch_sim.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -51,6 +52,15 @@ SwitchSim::SwitchSim(const SimConfig& config,
     }
     if (scheduler_ != nullptr) {
         scheduler_->reset(config_.ports, config_.ports);
+        if (config_.trace_capacity > 0) {
+            trace_.emplace(config_.ports, config_.ports,
+                           config_.trace_capacity);
+        }
+        if (config_.paranoid) {
+            checker_.emplace(obs::ParanoidChecker::options_for(
+                scheduler_->name(), scheduler_->iteration_limit()));
+            checker_->reset(config_.ports, config_.ports);
+        }
     }
     if (config_.clos_middle > 0) {
         if (config_.clos_group == 0 ||
@@ -60,6 +70,20 @@ SwitchSim::SwitchSim(const SimConfig& config,
         }
         clos_.emplace(config_.clos_group, config_.clos_middle,
                       config_.ports / config_.clos_group);
+    }
+}
+
+void SwitchSim::observe_schedule() {
+    // Observe the matching as produced by the scheduler, before the
+    // fabric may reject connections: the invariants being checked (and
+    // the starvation ages) are properties of the scheduler itself.
+    counters_.observe_cycle(requests_.total(), matching_.size());
+    if (trace_) {
+        trace_->record(counters_.cycles - 1, requests_, matching_);
+    }
+    if (checker_) {
+        checker_->check_cycle(requests_, matching_);
+        checker_->check_iterations(scheduler_->last_iterations());
     }
 }
 
@@ -146,6 +170,7 @@ void SwitchSim::step_voq_mode() {
 
         scheduler_->schedule(requests_, matching_);
         assert(matching_.valid_for(requests_));
+        observe_schedule();
         apply_fabric();
 
         // Transfer the head-of-VOQ packet of every matched pair. At
@@ -187,6 +212,7 @@ void SwitchSim::step_fifo_mode() {
 
     scheduler_->schedule(requests_, matching_);
     assert(matching_.valid_for(requests_));
+    observe_schedule();
     apply_fabric();
 
     for (std::size_t j = 0; j < config_.ports; ++j) {
@@ -246,6 +272,16 @@ SimResult SwitchSim::result() const {
         choices_slots_ ? choices_accum_ / static_cast<double>(choices_slots_)
                        : 0.0;
     r.ports = config_.ports;
+    r.sched = counters_;
+    if (trace_) {
+        r.sched.max_starvation_age = std::max(
+            r.sched.max_starvation_age, trace_->ages().high_watermark());
+    }
+    if (checker_) {
+        r.sched.max_starvation_age = std::max(r.sched.max_starvation_age,
+                                              checker_->max_starvation_age());
+        r.sched.paranoid_violations = checker_->violation_count();
+    }
     const std::uint64_t measured_slots =
         slot_ > config_.warmup_slots ? slot_ - config_.warmup_slots : 0;
     r.throughput =

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "fabric/clos.hpp"
+#include "obs/paranoid_checker.hpp"
+#include "obs/sched_trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/metrics.hpp"
 #include "sim/packet_queue.hpp"
@@ -68,6 +70,18 @@ struct SimConfig {
     /// them).
     std::size_t clos_middle = 0;
     std::size_t clos_group = 4;  ///< k: ports per first/third-stage switch
+
+    /// Validate cycle-level scheduler invariants every scheduling cycle
+    /// (obs::ParanoidChecker). A violation throws std::logic_error from
+    /// step(). Checks are configured from the scheduler's name: the
+    /// rotating-diagonal variants additionally get the §3 fairness check
+    /// (granted within n² cycles under a continuously asserted request),
+    /// iterative matchers their iteration-budget check.
+    bool paranoid = false;
+    /// When > 0, keep an obs::SchedTrace ring of the most recent
+    /// `trace_capacity` scheduling cycles, accessible via
+    /// SwitchSim::trace() and exportable as CSV/JSONL.
+    std::size_t trace_capacity = 0;
 };
 
 /// One switch simulation. Construct, then either run() to completion or
@@ -110,6 +124,18 @@ public:
     [[nodiscard]] const sched::Matching& last_matching() const noexcept {
         return matching_;
     }
+    /// Per-cycle trace ring (engaged iff config.trace_capacity > 0).
+    [[nodiscard]] const std::optional<obs::SchedTrace>& trace() const noexcept {
+        return trace_;
+    }
+    /// Invariant checker (engaged iff config.paranoid).
+    [[nodiscard]] const std::optional<obs::ParanoidChecker>& checker() const noexcept {
+        return checker_;
+    }
+    /// Structured scheduler counters accumulated so far.
+    [[nodiscard]] const obs::SchedCounters& sched_counters() const noexcept {
+        return counters_;
+    }
 
 private:
     void step_arrivals();
@@ -120,6 +146,9 @@ private:
     /// Route matching_ through the Clos fabric (if configured),
     /// unmatching any connection the fabric cannot carry.
     void apply_fabric();
+    /// Feed the scheduler's raw matching (before the fabric may drop
+    /// connections) to the counters, trace, and paranoid checker.
+    void observe_schedule();
 
     SimConfig config_;
     std::unique_ptr<sched::Scheduler> scheduler_;
@@ -133,6 +162,10 @@ private:
     sched::RequestMatrix requests_;
     sched::Matching matching_;
     std::vector<std::uint32_t> queue_lengths_;  // scratch for iLQF-style schedulers
+
+    std::optional<obs::SchedTrace> trace_;
+    std::optional<obs::ParanoidChecker> checker_;
+    obs::SchedCounters counters_;
 
     std::optional<fabric::ClosNetwork> clos_;
     std::uint64_t fabric_blocked_ = 0;

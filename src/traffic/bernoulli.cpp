@@ -13,6 +13,12 @@ BernoulliUniform::BernoulliUniform(double load) : load_(load) {
 
 void BernoulliUniform::reset(std::size_t inputs, std::size_t outputs,
                              std::uint64_t seed) {
+    if (inputs == 0 || outputs == 0) {
+        // arrival() draws destinations uniformly below `outputs`, which
+        // is undefined for an empty geometry.
+        throw std::invalid_argument(
+            "uniform traffic requires a non-empty switch geometry");
+    }
     outputs_ = outputs;
     rng_.clear();
     rng_.reserve(inputs);

@@ -29,6 +29,10 @@ BurstyTraffic::BurstyTraffic(double load, double mean_burst)
 
 void BurstyTraffic::reset(std::size_t inputs, std::size_t outputs,
                           std::uint64_t seed) {
+    if (inputs == 0 || outputs == 0) {
+        throw std::invalid_argument(
+            "bursty traffic requires a non-empty switch geometry");
+    }
     outputs_ = outputs;
     ports_.assign(inputs, PortState{});
     for (std::size_t i = 0; i < inputs; ++i) {

@@ -12,6 +12,11 @@ DiagonalTraffic::DiagonalTraffic(double load) : load_(load) {
 
 void DiagonalTraffic::reset(std::size_t inputs, std::size_t outputs,
                             std::uint64_t seed) {
+    if (inputs == 0 || outputs == 0) {
+        // arrival() maps destinations with `% outputs`.
+        throw std::invalid_argument(
+            "diagonal traffic requires a non-empty switch geometry");
+    }
     outputs_ = outputs;
     rng_.clear();
     rng_.reserve(inputs);

@@ -17,6 +17,10 @@ HotspotTraffic::HotspotTraffic(double load, double hot_fraction,
 
 void HotspotTraffic::reset(std::size_t inputs, std::size_t outputs,
                            std::uint64_t seed) {
+    if (inputs == 0 || outputs == 0) {
+        throw std::invalid_argument(
+            "hotspot traffic requires a non-empty switch geometry");
+    }
     if (hot_port_ >= outputs) {
         throw std::invalid_argument("hot_port out of range");
     }

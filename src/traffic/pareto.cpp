@@ -44,6 +44,10 @@ double ParetoBurstTraffic::sample_burst(util::Xoshiro256& rng) const noexcept {
 
 void ParetoBurstTraffic::reset(std::size_t inputs, std::size_t outputs,
                                std::uint64_t seed) {
+    if (inputs == 0 || outputs == 0) {
+        throw std::invalid_argument(
+            "pareto traffic requires a non-empty switch geometry");
+    }
     outputs_ = outputs;
     ports_.assign(inputs, PortState{});
     for (std::size_t i = 0; i < inputs; ++i) {

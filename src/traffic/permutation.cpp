@@ -13,6 +13,10 @@ PermutationTraffic::PermutationTraffic(double load) : load_(load) {
 
 void PermutationTraffic::reset(std::size_t inputs, std::size_t outputs,
                                std::uint64_t seed) {
+    if (inputs == 0 || outputs == 0) {
+        throw std::invalid_argument(
+            "permutation traffic requires a non-empty switch geometry");
+    }
     if (outputs < inputs) {
         throw std::invalid_argument(
             "permutation traffic requires outputs >= inputs");

@@ -21,7 +21,24 @@ std::unique_ptr<TrafficGenerator> make_traffic(std::string_view name,
     if (name == "hotspot") return std::make_unique<HotspotTraffic>(load);
     if (name == "diagonal") return std::make_unique<DiagonalTraffic>(load);
     if (name == "permutation") return std::make_unique<PermutationTraffic>(load);
-    throw std::invalid_argument("unknown traffic name: " + std::string(name));
+    std::string message = "unknown traffic name: " + std::string(name) +
+                          " (valid names:";
+    for (const auto& valid : traffic_names()) message += " " + valid;
+    throw std::invalid_argument(message + ")");
+}
+
+const std::vector<std::string>& traffic_names() {
+    static const std::vector<std::string> names = {
+        "uniform", "bursty", "pareto", "hotspot", "diagonal", "permutation",
+    };
+    return names;
+}
+
+bool is_traffic_name(std::string_view name) {
+    for (const auto& valid : traffic_names()) {
+        if (valid == name) return true;
+    }
+    return false;
 }
 
 }  // namespace lcf::traffic

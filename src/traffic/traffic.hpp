@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lcf::traffic {
 
@@ -44,5 +45,11 @@ public:
 /// Throws std::invalid_argument for unknown names.
 std::unique_ptr<TrafficGenerator> make_traffic(std::string_view name,
                                                double load);
+
+/// All names accepted by make_traffic(), in documentation order.
+const std::vector<std::string>& traffic_names();
+
+/// True when `name` is accepted by make_traffic().
+bool is_traffic_name(std::string_view name);
 
 }  // namespace lcf::traffic

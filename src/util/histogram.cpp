@@ -34,8 +34,11 @@ double Histogram::mean() const noexcept {
 std::uint64_t Histogram::percentile(double q) const noexcept {
     if (count_ == 0) return 0;
     q = std::clamp(q, 0.0, 1.0);
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(count_) + 0.5);
+    // Rank at least 1: with q == 0 (or small enough that the rounded
+    // rank is 0) the answer is the smallest recorded value, not bucket
+    // 0 — `seen >= 0` would accept the very first bucket unconditionally.
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
     std::uint64_t seen = 0;
     for (std::size_t v = 0; v < buckets_.size(); ++v) {
         seen += buckets_[v];

@@ -1,8 +1,13 @@
 #include "util/rng.hpp"
 
+#include <cassert>
+
 namespace lcf::util {
 
 std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
+    // `% bound` below divides by zero for bound == 0 — there is no value
+    // "uniform in [0, 0)" to return. Callers must check emptiness first.
+    assert(bound > 0 && "Xoshiro256::next_below requires bound > 0");
     // Lemire's multiply-shift with rejection on the low word.
     const std::uint64_t threshold = (0 - bound) % bound;
     while (true) {

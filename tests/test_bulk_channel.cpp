@@ -194,6 +194,29 @@ TEST(BulkChannel, ReenablingAHostRestoresService) {
     EXPECT_GT(sim.result().delivered, mid.delivered + 40);
 }
 
+TEST(BulkChannel, ParanoidRunIsCleanAndCountersPopulate) {
+    BulkChannelConfig c = small_config();
+    c.paranoid = true;
+    BulkChannelSim sim(c, std::make_unique<traffic::BernoulliUniform>(0.5));
+    // Mix in multicast so the precalculated stage runs alongside the
+    // checked unicast matchings.
+    sim.enqueue_multicast(0, 0b1100);
+    const auto r = sim.run();
+    EXPECT_GT(r.delivered, 0u);
+    EXPECT_EQ(r.sched.cycles, c.slots);
+    EXPECT_GT(r.sched.grants, 0u);
+    EXPECT_EQ(r.sched.paranoid_violations, 0u);
+}
+
+TEST(BulkChannel, CountersCollectedWithoutParanoid) {
+    BulkChannelSim sim(small_config(),
+                       std::make_unique<traffic::BernoulliUniform>(0.5));
+    const auto r = sim.run();
+    EXPECT_EQ(r.sched.cycles, small_config().slots);
+    EXPECT_GT(r.sched.grants, 0u);
+    EXPECT_FALSE(sim.checker().has_value());
+}
+
 TEST(BulkChannel, RejectsBadConfiguration) {
     BulkChannelConfig c;
     c.hosts = 17;

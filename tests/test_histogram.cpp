@@ -75,5 +75,33 @@ TEST(Histogram, PercentileClampsQ) {
     EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
 }
 
+TEST(Histogram, PercentileZeroIsSmallestRecordedValue) {
+    // Regression: with a rank of 0 the scan used to accept bucket 0
+    // unconditionally, reporting p0 = 0 even when no sample was 0.
+    Histogram h(16);
+    h.add(5);
+    EXPECT_EQ(h.percentile(0.0), 5u);
+    h.add(9);
+    EXPECT_EQ(h.percentile(0.0), 5u);
+    EXPECT_EQ(h.percentile(-3.0), 5u);
+}
+
+TEST(Histogram, PercentileZeroSaturatesWithAllOverflowSamples) {
+    // Every sample beyond capacity: all percentiles, including p0,
+    // report the saturated bound instead of an empty bucket 0.
+    Histogram h(4);
+    h.add(100);
+    h.add(200);
+    EXPECT_EQ(h.percentile(0.0), 4u);
+    EXPECT_EQ(h.percentile(1.0), 4u);
+}
+
+TEST(Histogram, PercentileOnEmptyHistogramIsZero) {
+    const Histogram h(8);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
 }  // namespace
 }  // namespace lcf::util

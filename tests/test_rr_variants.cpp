@@ -2,9 +2,13 @@
 // the fairness knob spanning pure LCF (no guarantee) through the single
 // position and interleaved diagonal (b/n²) up to diagonal-first (b/n).
 
+#include <set>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "core/lcf_central.hpp"
+#include "obs/paranoid_checker.hpp"
 #include "util/rng.hpp"
 
 namespace lcf::core {
@@ -157,6 +161,86 @@ TEST(RrVariants, ThroughputOrderingOnAdversarialPattern) {
         first_total += static_cast<double>(m.size());
     }
     EXPECT_GE(none_total, first_total);
+}
+
+TEST(RrVariants, DiagonalOrbitsAllPositionsInEveryVariant) {
+    // The anchor [I, J] must advance exactly once per schedule() call —
+    // I = (I+1) % n, J advancing when I wraps — in every variant,
+    // visiting all n² positions exactly once over n² cycles and then
+    // returning to the start. A variant that advanced twice (or skipped
+    // the advance on some code path) would silently halve the b/n²
+    // fairness floor.
+    const std::size_t n = 4;
+    const RequestMatrix full = all_ones(n);
+    for (const RrVariant variant :
+         {RrVariant::kNone, RrVariant::kSingle, RrVariant::kInterleaved,
+          RrVariant::kDiagonalFirst}) {
+        LcfCentralScheduler s(LcfCentralOptions{.variant = variant});
+        s.reset(n, n);
+        Matching m;
+        std::set<std::pair<std::size_t, std::size_t>> visited;
+        for (std::size_t c = 0; c < n * n; ++c) {
+            const auto before = s.diagonal();
+            EXPECT_TRUE(visited.insert(before).second)
+                << "anchor revisited before the orbit closed";
+            s.schedule(full, m);
+            const auto after = s.diagonal();
+            EXPECT_EQ(after.first, (before.first + 1) % n);
+            EXPECT_EQ(after.second, after.first == 0
+                                        ? (before.second + 1) % n
+                                        : before.second);
+        }
+        EXPECT_EQ(visited.size(), n * n);
+        EXPECT_EQ(s.diagonal(), (std::pair<std::size_t, std::size_t>{0, 0}))
+            << "orbit must close after n*n cycles";
+    }
+}
+
+TEST(RrVariants, PrecalcPathAdvancesDiagonalExactlyOnce) {
+    // schedule_with_precalc() shares the rotation state with the plain
+    // path; an admitted precalculated claim must not add an extra
+    // advance.
+    const std::size_t n = 4;
+    LcfCentralScheduler s;  // kInterleaved default
+    s.reset(n, n);
+    const RequestMatrix full = all_ones(n);
+    MulticastResult out;
+    for (std::size_t c = 0; c < n * n; ++c) {
+        const auto before = s.diagonal();
+        PrecalcSchedule precalc(n);
+        precalc.claim(c % n, (c / n) % n);  // varying multicast claims
+        s.schedule_with_precalc(full, precalc, out);
+        const auto after = s.diagonal();
+        EXPECT_EQ(after.first, (before.first + 1) % n);
+        EXPECT_EQ(after.second, after.first == 0 ? (before.second + 1) % n
+                                                 : before.second);
+    }
+    EXPECT_EQ(s.diagonal(), (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST(RrVariants, ContinuousRequestGrantedWithinNSquaredCycles) {
+    // §3's guarantee, measured directly: under a continuously asserted
+    // request, no (input, output) position of the interleaved or single
+    // variant waits more than n² cycles for a grant — even against an
+    // adversarial full backlog from every other input.
+    const std::size_t n = 4;
+    const RequestMatrix full = all_ones(n);
+    for (const RrVariant variant :
+         {RrVariant::kSingle, RrVariant::kInterleaved,
+          RrVariant::kDiagonalFirst}) {
+        LcfCentralScheduler s(LcfCentralOptions{.variant = variant});
+        s.reset(n, n);
+        obs::ParanoidChecker checker(
+            obs::ParanoidOptions{.check_diagonal_fairness = true});
+        checker.reset(n, n);  // window defaults to n²
+        Matching m;
+        for (std::size_t c = 0; c < 4 * n * n; ++c) {
+            s.schedule(full, m);
+            EXPECT_NO_THROW(checker.check_cycle(full, m))
+                << s.name() << " cycle " << c;
+        }
+        EXPECT_LE(checker.max_starvation_age(), n * n) << s.name();
+    }
 }
 
 TEST(RrVariants, NamesAreDistinct) {

@@ -3,7 +3,13 @@
 
 #include "sim/runner.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "core/factory.hpp"
 
 namespace lcf::sim {
 namespace {
@@ -31,6 +37,68 @@ TEST(Runner, RunsEveryFigure12Configuration) {
 TEST(Runner, UnknownNameThrows) {
     EXPECT_THROW(run_named("bogus", quick_config(), "uniform", 0.5),
                  std::invalid_argument);
+}
+
+TEST(Runner, UnknownConfigNameListsValidNames) {
+    try {
+        run_named("bogus", quick_config(), "uniform", 0.5);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("bogus"), std::string::npos);
+        EXPECT_NE(message.find("outbuf"), std::string::npos);
+        for (const auto& name : core::scheduler_names()) {
+            EXPECT_NE(message.find(name), std::string::npos) << name;
+        }
+    }
+}
+
+TEST(Runner, UnknownTrafficNameListsValidNames) {
+    try {
+        run_named("islip", quick_config(), "bogus_traffic", 0.5);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("bogus_traffic"), std::string::npos);
+        for (const auto& name : traffic::traffic_names()) {
+            EXPECT_NE(message.find(name), std::string::npos) << name;
+        }
+    }
+}
+
+TEST(Runner, SweepPropagatesWorkerExceptions) {
+    const std::vector<std::string> names = {"islip", "bogus"};
+    const std::vector<double> loads = {0.5};
+    EXPECT_THROW(sweep(names, loads, quick_config(), "uniform", {}, 2),
+                 std::invalid_argument);
+}
+
+TEST(Runner, ParanoidRunValidatesEveryCycle) {
+    SimConfig config = quick_config();
+    config.paranoid = true;
+    for (const auto* name : {"lcf_central_rr", "lcf_dist_rr", "islip"}) {
+        const auto r = run_named(name, config, "uniform", 0.9);
+        EXPECT_EQ(r.sched.cycles, config.slots) << name;
+        EXPECT_EQ(r.sched.paranoid_violations, 0u) << name;
+        EXPECT_GT(r.sched.grants, 0u) << name;
+    }
+}
+
+TEST(Runner, SweepAggregatesCountersAcrossPoints) {
+    const std::vector<std::string> names = {"islip", "lcf_central"};
+    const std::vector<double> loads = {0.3, 0.6};
+    const auto points = sweep(names, loads, quick_config(), "uniform", {}, 2);
+    const auto totals = aggregate_counters(points);
+    // Every VOQ-mode point contributes one scheduling cycle per slot.
+    EXPECT_EQ(totals.cycles, quick_config().slots * points.size());
+    std::uint64_t grants = 0, max_matching = 0;
+    for (const auto& p : points) {
+        grants += p.result.sched.grants;
+        max_matching = std::max(max_matching, p.result.sched.max_matching);
+    }
+    EXPECT_EQ(totals.grants, grants);
+    EXPECT_EQ(totals.max_matching, max_matching);
+    EXPECT_GT(totals.grants, 0u);
 }
 
 TEST(Runner, SweepReturnsConfigMajorOrder) {

@@ -177,6 +177,64 @@ TEST(SwitchSim, StepwiseIntrospection) {
     EXPECT_EQ(sim.last_matching().output_of(2), 3);
 }
 
+TEST(SwitchSim, CountersAlwaysCollected) {
+    auto c = tiny();
+    c.slots = 200;
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::BernoulliUniform>(0.6));
+    const auto r = sim.run();
+    EXPECT_EQ(r.sched.cycles, 200u);
+    EXPECT_GT(r.sched.requests, 0u);
+    EXPECT_GT(r.sched.grants, 0u);
+    EXPECT_EQ(r.sched.grants, r.delivered);  // speedup 1, no fabric drops
+    EXPECT_LE(r.sched.max_matching, c.ports);
+    EXPECT_EQ(r.sched.paranoid_violations, 0u);
+}
+
+TEST(SwitchSim, SpeedupRunsSchedulerTwicePerSlot) {
+    auto c = tiny();
+    c.slots = 50;
+    c.speedup = 2;
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::BernoulliUniform>(0.6));
+    const auto r = sim.run();
+    EXPECT_EQ(r.sched.cycles, 100u);  // one observation per phase
+}
+
+TEST(SwitchSim, TraceRingEngagesWhenConfigured) {
+    auto c = tiny();
+    c.slots = 50;
+    c.trace_capacity = 16;
+    SwitchSim sim(c, islip(),
+                  std::make_unique<traffic::BernoulliUniform>(0.8));
+    EXPECT_FALSE(SwitchSim(tiny(), islip(),
+                           std::make_unique<traffic::BernoulliUniform>(0.1))
+                     .trace()
+                     .has_value());
+    ASSERT_TRUE(sim.trace().has_value());
+    sim.run();
+    EXPECT_EQ(sim.trace()->recorded(), 50u);
+    EXPECT_EQ(sim.trace()->size(), 16u);  // ring kept the most recent 16
+    EXPECT_EQ(sim.trace()->at(0).cycle, 34u);
+}
+
+TEST(SwitchSim, ParanoidCheckerEngagesAndRunsClean) {
+    auto c = tiny();
+    c.slots = 300;
+    c.paranoid = true;
+    SwitchSim sim(c, core::make_scheduler("lcf_central_rr"),
+                  std::make_unique<traffic::BernoulliUniform>(0.9));
+    ASSERT_TRUE(sim.checker().has_value());
+    // lcf_central_rr promises the §3 fairness guarantee; options_for
+    // turned the diagonal-fairness check on for it.
+    EXPECT_TRUE(sim.checker()->options().check_diagonal_fairness);
+    const auto r = sim.run();
+    EXPECT_EQ(sim.checker()->cycles_checked(), 300u);
+    EXPECT_EQ(r.sched.paranoid_violations, 0u);
+    EXPECT_LE(r.sched.max_starvation_age,
+              static_cast<std::uint64_t>(c.ports * c.ports));
+}
+
 TEST(SwitchSim, RejectsInvalidConstruction) {
     auto c = tiny();
     EXPECT_THROW(

@@ -223,6 +223,42 @@ TEST(Trace, RejectsDuplicatesAndRangeErrors) {
     EXPECT_THROW(bad_dst.reset(4, 4, 0), std::invalid_argument);
 }
 
+TEST(Generators, RejectEmptyGeometry) {
+    // Regression: reset(n, 0, seed) used to be accepted, and the first
+    // arrival() then drew a destination below 0 — division by zero
+    // inside the RNG's rejection sampler.
+    for (const auto* name :
+         {"uniform", "bursty", "pareto", "hotspot", "diagonal",
+          "permutation"}) {
+        auto gen = make_traffic(name, 0.5);
+        EXPECT_THROW(gen->reset(4, 0, 1), std::invalid_argument) << name;
+        EXPECT_THROW(gen->reset(0, 4, 1), std::invalid_argument) << name;
+        gen->reset(4, 4, 1);  // sane geometry still accepted afterwards
+    }
+}
+
+TEST(Factory, UnknownNameListsValidNames) {
+    try {
+        make_traffic("nope", 0.5);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("nope"), std::string::npos);
+        for (const auto& name : traffic_names()) {
+            EXPECT_NE(message.find(name), std::string::npos) << name;
+        }
+    }
+}
+
+TEST(Factory, TrafficNamesRoundTrip) {
+    for (const auto& name : traffic_names()) {
+        EXPECT_TRUE(is_traffic_name(name)) << name;
+        EXPECT_NE(make_traffic(name, 0.5), nullptr) << name;
+    }
+    EXPECT_FALSE(is_traffic_name("nope"));
+    EXPECT_FALSE(is_traffic_name(""));
+}
+
 TEST(Factory, MakesEveryKnownPattern) {
     for (const auto* name :
          {"uniform", "bursty", "hotspot", "diagonal", "permutation"}) {
