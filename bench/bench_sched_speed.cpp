@@ -2,10 +2,21 @@
 // scheduler and radix, on random request matrices of fixed density.
 // This is the software analogue of §6.2's speed comparison (O(n)
 // sequential central scheduler vs O(log n)-iteration distributed one).
+//
+// The BM_*Reference benchmarks run the pre-optimization per-bit LCF
+// transcriptions kept behind the factory's `*_reference` names, so one
+// run of this binary yields matched before/after numbers for the
+// word-parallel rewrite (see docs/performance.md).
+//
+// Usage: bench_sched_speed [--json <path>] [google-benchmark flags...]
+// --json <path> is shorthand for
+// --benchmark_out=<path> --benchmark_out_format=json.
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/factory.hpp"
@@ -26,8 +37,11 @@ std::vector<RequestMatrix> make_inputs(std::size_t n, double density,
     for (std::size_t k = 0; k < count; ++k) {
         RequestMatrix r(n);
         for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = 0; j < n; ++j) {
-                if (rng.next_bool(density)) r.set(i, j);
+            // 64 Bernoulli(density) bits per draw; set_word() trims the
+            // bits beyond the row length.
+            auto& row = r.row(i);
+            for (std::size_t wi = 0; wi < row.word_count(); ++wi) {
+                row.set_word(wi, rng.next_bernoulli_word(density));
             }
         }
         inputs.push_back(std::move(r));
@@ -61,6 +75,18 @@ void BM_LcfDist(benchmark::State& state) { run_scheduler(state, "lcf_dist"); }
 void BM_LcfDistRr(benchmark::State& state) {
     run_scheduler(state, "lcf_dist_rr");
 }
+void BM_LcfCentralReference(benchmark::State& state) {
+    run_scheduler(state, "lcf_central_reference");
+}
+void BM_LcfCentralRrReference(benchmark::State& state) {
+    run_scheduler(state, "lcf_central_rr_reference");
+}
+void BM_LcfDistReference(benchmark::State& state) {
+    run_scheduler(state, "lcf_dist_reference");
+}
+void BM_LcfDistRrReference(benchmark::State& state) {
+    run_scheduler(state, "lcf_dist_rr_reference");
+}
 void BM_Pim(benchmark::State& state) { run_scheduler(state, "pim"); }
 void BM_Islip(benchmark::State& state) { run_scheduler(state, "islip"); }
 void BM_Wavefront(benchmark::State& state) { run_scheduler(state, "wfront"); }
@@ -80,7 +106,7 @@ void BM_RtlDatapath(benchmark::State& state) {
     }
 }
 
-constexpr std::int64_t kRadices[] = {8, 16, 32, 64};
+constexpr std::int64_t kRadices[] = {8, 16, 32, 64, 128, 256};
 
 void radix_args(benchmark::internal::Benchmark* b) {
     for (const auto n : kRadices) b->Arg(n);
@@ -90,6 +116,10 @@ BENCHMARK(BM_LcfCentral)->Apply(radix_args);
 BENCHMARK(BM_LcfCentralRr)->Apply(radix_args);
 BENCHMARK(BM_LcfDist)->Apply(radix_args);
 BENCHMARK(BM_LcfDistRr)->Apply(radix_args);
+BENCHMARK(BM_LcfCentralReference)->Apply(radix_args);
+BENCHMARK(BM_LcfCentralRrReference)->Apply(radix_args);
+BENCHMARK(BM_LcfDistReference)->Apply(radix_args);
+BENCHMARK(BM_LcfDistRrReference)->Apply(radix_args);
 BENCHMARK(BM_Pim)->Apply(radix_args);
 BENCHMARK(BM_Islip)->Apply(radix_args);
 BENCHMARK(BM_Wavefront)->Apply(radix_args);
@@ -98,4 +128,29 @@ BENCHMARK(BM_RtlDatapath)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Translate the repo-conventional `--json <path>` into
+    // google-benchmark's output flags before Initialize() sees argv.
+    std::vector<std::string> storage;
+    storage.reserve(static_cast<std::size_t>(argc) + 2);
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+            storage.emplace_back(std::string("--benchmark_out=") + argv[i + 1]);
+            storage.emplace_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            storage.emplace_back(argv[i]);
+        }
+    }
+    std::vector<char*> args;
+    args.reserve(storage.size());
+    for (auto& s : storage) args.push_back(s.data());
+    int new_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&new_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -153,9 +153,8 @@ void BulkChannelSim::step_transfers() {
             packet = *rit;
             h.retransmit.erase(rit);
         } else {
-            auto& q = h.voqs.queue(target);
-            assert(!q.empty());
-            packet = q.pop();
+            assert(!h.voqs.queue(target).empty());
+            packet = h.voqs.pop(target);
         }
 
         // Bulk data packet across the fabric.

@@ -4,6 +4,7 @@
 
 #include "core/lcf_central.hpp"
 #include "core/lcf_dist.hpp"
+#include "core/lcf_reference.hpp"
 #include "sched/fifo_rr.hpp"
 #include "sched/ilqf.hpp"
 #include "sched/islip.hpp"
@@ -47,6 +48,34 @@ std::unique_ptr<sched::Scheduler> make_scheduler(
         return std::make_unique<LcfDistScheduler>(LcfDistOptions{
             .iterations = config.iterations, .round_robin = true});
     }
+    // Pre-optimization twins: per-bit transcriptions kept as differential
+    // oracles for the equivalence suite and as perf-baseline "before"
+    // lines. Deliberately absent from scheduler_names() so sweeps and
+    // figure harnesses do not enumerate them.
+    if (name == "lcf_central_reference") {
+        return std::make_unique<LcfCentralReferenceScheduler>(
+            LcfCentralOptions{.variant = RrVariant::kNone});
+    }
+    if (name == "lcf_central_rr_reference") {
+        return std::make_unique<LcfCentralReferenceScheduler>(
+            LcfCentralOptions{.variant = RrVariant::kInterleaved});
+    }
+    if (name == "lcf_central_rr_single_reference") {
+        return std::make_unique<LcfCentralReferenceScheduler>(
+            LcfCentralOptions{.variant = RrVariant::kSingle});
+    }
+    if (name == "lcf_central_rr_first_reference") {
+        return std::make_unique<LcfCentralReferenceScheduler>(
+            LcfCentralOptions{.variant = RrVariant::kDiagonalFirst});
+    }
+    if (name == "lcf_dist_reference") {
+        return std::make_unique<LcfDistReferenceScheduler>(LcfDistOptions{
+            .iterations = config.iterations, .round_robin = false});
+    }
+    if (name == "lcf_dist_rr_reference") {
+        return std::make_unique<LcfDistReferenceScheduler>(LcfDistOptions{
+            .iterations = config.iterations, .round_robin = true});
+    }
     std::string message = "unknown scheduler name: " + std::string(name) +
                           " (valid names:";
     for (const auto& valid : scheduler_names()) message += " " + valid;
@@ -57,7 +86,18 @@ bool is_scheduler_name(std::string_view name) {
     for (const auto& s : scheduler_names()) {
         if (s == name) return true;
     }
+    for (const auto& s : reference_scheduler_names()) {
+        if (s == name) return true;
+    }
     return false;
+}
+
+const std::vector<std::string>& reference_scheduler_names() {
+    static const std::vector<std::string> names = {
+        "lcf_central_reference",           "lcf_central_rr_reference",
+        "lcf_central_rr_single_reference", "lcf_central_rr_first_reference",
+        "lcf_dist_reference",              "lcf_dist_rr_reference"};
+    return names;
 }
 
 const std::vector<std::string>& scheduler_names() {

@@ -27,6 +27,14 @@ bool is_scheduler_name(std::string_view name);
 /// "maxsize" reference at the end).
 const std::vector<std::string>& scheduler_names();
 
+/// The pre-optimization `*_reference` twins of the LCF schedulers:
+/// per-bit transcriptions of the paper's pseudocode, bit-identical in
+/// output to their word-parallel counterparts (the equivalence property
+/// suite enforces this). Constructible through make_scheduler() and
+/// accepted by is_scheduler_name(), but not part of scheduler_names()
+/// so sweeps and figure harnesses do not enumerate them.
+const std::vector<std::string>& reference_scheduler_names();
+
 /// The nine Figure 12 configurations in legend order, "outbuf" included.
 const std::vector<std::string>& figure12_names();
 

@@ -24,8 +24,16 @@ std::string_view LcfCentralScheduler::name() const noexcept {
 void LcfCentralScheduler::reset(std::size_t inputs, std::size_t outputs) {
     rr_input_ = 0;
     rr_output_ = 0;
-    scratch_rows_.assign(inputs, util::BitVec(outputs));
-    nrq_.assign(inputs, 0);
+    ensure_scratch(inputs, outputs);
+}
+
+void LcfCentralScheduler::ensure_scratch(std::size_t n_in, std::size_t n_out) {
+    n_in_ = n_in;
+    n_out_ = n_out;
+    free_inputs_ = util::BitVec(n_in);
+    cand_ = util::BitVec(n_in);
+    masked_row_ = util::BitVec(n_out);
+    nrq_.assign(n_in, 0);
 }
 
 void LcfCentralScheduler::set_diagonal(std::size_t input_offset,
@@ -37,17 +45,31 @@ void LcfCentralScheduler::set_diagonal(std::size_t input_offset,
 void LcfCentralScheduler::advance_diagonal() noexcept {
     // I := (I+1) mod MaxReq; if I = 0 then J := (J+1) mod MaxRes — so the
     // diagonal anchor visits all n² positions over n² scheduling cycles.
-    const std::size_t n_in = scratch_rows_.size();
-    const std::size_t n_out = scratch_rows_.empty() ? 0 : scratch_rows_[0].size();
-    if (n_in == 0 || n_out == 0) return;
-    rr_input_ = (rr_input_ + 1) % n_in;
-    if (rr_input_ == 0) rr_output_ = (rr_output_ + 1) % n_out;
+    if (n_in_ == 0 || n_out_ == 0) return;
+    rr_input_ = (rr_input_ + 1) % n_in_;
+    if (rr_input_ == 0) rr_output_ = (rr_output_ + 1) % n_out_;
 }
 
 void LcfCentralScheduler::schedule(const sched::RequestMatrix& requests,
                                    sched::Matching& out) {
     run_lcf(requests, nullptr, nullptr, out);
     advance_diagonal();
+}
+
+// Grant a pair and maintain the bookkeeping: the winner leaves the
+// competition (one bit), and requests for the consumed output stop
+// counting as choices (one walk of the candidate word's set bits —
+// cand_ holds exactly the column's still-free requesters).
+void LcfCentralScheduler::grant(std::size_t input, std::size_t col,
+                                sched::Matching& out) {
+    out.match(input, col);
+    free_inputs_.reset(input);
+    for (const std::size_t i : cand_.set_bits()) {
+        if (i != input) {
+            assert(nrq_[i] > 0);
+            --nrq_[i];
+        }
+    }
 }
 
 void LcfCentralScheduler::run_lcf(const sched::RequestMatrix& requests,
@@ -59,38 +81,24 @@ void LcfCentralScheduler::run_lcf(const sched::RequestMatrix& requests,
     out.reset(n_in, n_out);
     if (n_in == 0 || n_out == 0) return;
 
-    if (scratch_rows_.size() != n_in ||
-        (n_in > 0 && scratch_rows_[0].size() != n_out)) {
-        scratch_rows_.assign(n_in, util::BitVec(n_out));
-        nrq_.assign(n_in, 0);
-    }
+    if (n_in_ != n_in || n_out_ != n_out) ensure_scratch(n_in, n_out);
 
-    // Copy the request matrix (the algorithm consumes rows as it grants)
-    // and mask away ports already consumed by a precalculated stage.
+    // Everyone not consumed by a precalculated stage competes; NRQ
+    // starts as the (masked) row popcount. The request matrix itself is
+    // never copied — candidate sets come from its lazily maintained
+    // column view, masked by free_inputs_.
+    free_inputs_.fill();
+    if (busy_inputs != nullptr) free_inputs_.subtract(*busy_inputs);
     for (std::size_t i = 0; i < n_in; ++i) {
-        scratch_rows_[i] = requests.row(i);
-        if (busy_inputs != nullptr && busy_inputs->test(i)) {
-            scratch_rows_[i].clear();
+        if (!free_inputs_.test(i)) {
+            nrq_[i] = 0;
         } else if (busy_outputs != nullptr) {
-            scratch_rows_[i].subtract(*busy_outputs);
+            masked_row_.assign_subtract(requests.row(i), *busy_outputs);
+            nrq_[i] = masked_row_.count();
+        } else {
+            nrq_[i] = requests.row(i).count();
         }
-        nrq_[i] = scratch_rows_[i].count();
     }
-
-    // Grant a pair and maintain the NRQ bookkeeping: the winner's row
-    // leaves the competition and requests for the consumed output stop
-    // counting as choices.
-    const auto grant = [&](std::size_t input, std::size_t col) {
-        out.match(input, col);
-        scratch_rows_[input].clear();
-        nrq_[input] = 0;
-        for (std::size_t i = 0; i < n_in; ++i) {
-            if (scratch_rows_[i].test(col)) {
-                assert(nrq_[i] > 0);
-                --nrq_[i];
-            }
-        }
-    };
 
     // Diagonal-first variant: the entire round-robin diagonal is
     // admitted before any LCF priority is consulted (§3's b/n upper
@@ -100,8 +108,10 @@ void LcfCentralScheduler::run_lcf(const sched::RequestMatrix& requests,
             const std::size_t col = (rr_output_ + res) % n_out;
             if (busy_outputs != nullptr && busy_outputs->test(col)) continue;
             const std::size_t pos_input = (rr_input_ + res) % n_in;
-            if (scratch_rows_[pos_input].test(col)) {
-                grant(pos_input, col);
+            if (free_inputs_.test(pos_input) &&
+                requests.get(pos_input, col)) {
+                cand_.assign_and(requests.col(col), free_inputs_);
+                grant(pos_input, col, out);
             }
         }
     }
@@ -112,32 +122,36 @@ void LcfCentralScheduler::run_lcf(const sched::RequestMatrix& requests,
         if (busy_outputs != nullptr && busy_outputs->test(col)) continue;
         if (out.output_matched(col)) continue;  // diagonal-first stage
 
-        std::int32_t gnt = sched::kUnmatched;
+        cand_.assign_and(requests.col(col), free_inputs_);
+        if (cand_.none()) continue;
+
         const std::size_t rr_pos_input = (rr_input_ + res) % n_in;
         const bool rr_wins =
             (options_.variant == RrVariant::kInterleaved ||
              (options_.variant == RrVariant::kSingle && res == 0)) &&
-            scratch_rows_[rr_pos_input].test(col);
-        if (rr_wins) {
-            // The round-robin position wins unconditionally.
-            gnt = static_cast<std::int32_t>(rr_pos_input);
-        } else {
+            cand_.test(rr_pos_input);
+        std::size_t gnt = rr_pos_input;  // the round-robin position wins
+        if (!rr_wins) {
             // LCF: grant the requester with the fewest outstanding
-            // requests; the scan order starting at the round-robin offset
-            // realises the rotating tie-break priority chain.
-            std::size_t min_nrq = n_out + 1;
-            for (std::size_t k = 0; k < n_in; ++k) {
-                const std::size_t i = (k + rr_input_ + res) % n_in;
-                if (scratch_rows_[i].test(col) && nrq_[i] < min_nrq) {
-                    gnt = static_cast<std::int32_t>(i);
-                    min_nrq = nrq_[i];
+            // requests — the candidate minimizing (NRQ, rotated rank),
+            // where ranks rotate from the round-robin offset: exactly
+            // the reference's rotating tie-break priority chain, in one
+            // walk of the candidate set bits.
+            const std::size_t start = rr_pos_input;
+            std::size_t best_nrq = n_out + 1;
+            std::size_t best_rank = n_in;
+            for (const std::size_t i : cand_.set_bits()) {
+                const std::size_t rank =
+                    i >= start ? i - start : i + n_in - start;
+                const std::size_t v = nrq_[i];
+                if (v < best_nrq || (v == best_nrq && rank < best_rank)) {
+                    gnt = i;
+                    best_nrq = v;
+                    best_rank = rank;
                 }
             }
         }
-
-        if (gnt != sched::kUnmatched) {
-            grant(static_cast<std::size_t>(gnt), col);
-        }
+        grant(gnt, col, out);
     }
 }
 
@@ -155,18 +169,39 @@ void LcfCentralScheduler::schedule_with_precalc(
     // target claimed by several inputs is a violation: the first claimant
     // in the rotating priority order is accepted, the rest are dropped
     // (§4.3: "one request is accepted and the remaining ones are
-    // dropped").
+    // dropped"). One transpose of the claim rows replaces the per-target
+    // rotated scan over all inputs: each target's claimants are walked in
+    // rotated order directly from its column's set bits.
     util::BitVec busy_inputs(n_in);
     util::BitVec busy_outputs(n_out);
+    if (precalc_cols_.size() != n_out ||
+        (n_out > 0 && precalc_cols_[0].size() != n_in)) {
+        precalc_cols_.assign(n_out, util::BitVec(n_in));
+    } else {
+        for (auto& c : precalc_cols_) c.clear();
+    }
+    for (std::size_t i = 0; i < n_in; ++i) {
+        for (const std::size_t j : precalc.row(i).set_bits()) {
+            precalc_cols_[j].set(i);
+        }
+    }
+    const std::size_t rot0 = n_in == 0 ? 0 : rr_input_ % n_in;
     for (std::size_t j = 0; j < n_out; ++j) {
-        for (std::size_t k = 0; k < n_in; ++k) {
-            const std::size_t i = (rr_input_ + k) % n_in;
-            if (!precalc.claimed(i, j)) continue;
-            if (out.fanout[j] == sched::kUnmatched) {
-                out.fanout[j] = static_cast<std::int32_t>(i);
-                busy_outputs.set(j);
-            } else {
-                out.dropped.emplace_back(i, j);
+        if (precalc_cols_[j].none()) continue;
+        rot_scratch_.clear();
+        for (const std::size_t i : precalc_cols_[j].set_bits()) {
+            rot_scratch_.push_back(i);
+        }
+        // Rotated order from the diagonal anchor: indices >= rot0 first.
+        for (const int pass : {0, 1}) {
+            for (const std::size_t i : rot_scratch_) {
+                if ((i >= rot0) != (pass == 0)) continue;
+                if (out.fanout[j] == sched::kUnmatched) {
+                    out.fanout[j] = static_cast<std::int32_t>(i);
+                    busy_outputs.set(j);
+                } else {
+                    out.dropped.emplace_back(i, j);
+                }
             }
         }
     }

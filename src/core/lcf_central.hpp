@@ -84,17 +84,40 @@ public:
 private:
     /// Core of Figure 2, shared by schedule() and stage 2 of
     /// schedule_with_precalc(). `busy_*` marks ports consumed by stage 1.
+    ///
+    /// Word-parallel formulation: instead of consumable per-bit request
+    /// copies, a free-inputs bit vector plus the request matrix's lazily
+    /// maintained column view reduce each output's candidate set to one
+    /// masked AND (`col ∩ free_inputs`); the winner is the candidate
+    /// minimizing (NRQ, rotated rank) in one walk of the candidate
+    /// word's set bits — exactly the rotating tie-break chain, with no
+    /// per-input scan and no `%` in the inner loop. NRQ is maintained
+    /// incrementally: each grant decrements the consumed column's
+    /// remaining candidates. Produces bit-identical matchings to
+    /// LcfCentralReferenceScheduler (enforced by the equivalence
+    /// property suite).
     void run_lcf(const sched::RequestMatrix& requests,
                  const util::BitVec* busy_inputs,
                  const util::BitVec* busy_outputs, sched::Matching& out);
     void advance_diagonal() noexcept;
+    void ensure_scratch(std::size_t n_in, std::size_t n_out);
+    /// Grant (input, col). Precondition: cand_ holds col's candidate set
+    /// (col's requesters ∩ free inputs), winner included.
+    void grant(std::size_t input, std::size_t col, sched::Matching& out);
 
     LcfCentralOptions options_;
     std::size_t rr_input_ = 0;   // I in the pseudocode
     std::size_t rr_output_ = 0;  // J in the pseudocode
+    std::size_t n_in_ = 0;       // geometry the scratch is sized for
+    std::size_t n_out_ = 0;
     // Scratch reused across slots.
-    std::vector<util::BitVec> scratch_rows_;
-    std::vector<std::size_t> nrq_;
+    util::BitVec free_inputs_;         // inputs still competing
+    util::BitVec cand_;                // current column ∩ free_inputs_
+    util::BitVec masked_row_;          // precalc path: row & ~busy_outputs
+    std::vector<std::size_t> nrq_;     // remaining choices per free input
+    // schedule_with_precalc() stage-1 scratch.
+    std::vector<util::BitVec> precalc_cols_;
+    std::vector<std::size_t> rot_scratch_;
 };
 
 }  // namespace lcf::core

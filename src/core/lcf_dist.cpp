@@ -2,6 +2,19 @@
 
 namespace lcf::core {
 
+namespace {
+
+/// Position of `idx` in the rotating priority chain that starts at
+/// `start` (both < n): 0 for the start position itself, n-1 for the one
+/// just before it. Replaces the reference's per-candidate `(base + k) % n`
+/// scan with one conditional subtraction per set bit.
+constexpr std::size_t rotated_rank(std::size_t idx, std::size_t start,
+                                   std::size_t n) noexcept {
+    return idx >= start ? idx - start : idx + n - start;
+}
+
+}  // namespace
+
 LcfDistScheduler::LcfDistScheduler(const LcfDistOptions& options)
     : options_(options) {}
 
@@ -17,65 +30,92 @@ std::size_t LcfDistScheduler::iterate(const sched::RequestMatrix& requests,
     const std::size_t n_in = requests.inputs();
     const std::size_t n_out = requests.outputs();
 
+    // Free-port masks: candidates of target j are col(j) ∩ free_inputs,
+    // and an initiator's NRQ is one word-parallel row ∩ free_outputs
+    // popcount instead of a find_next walk over every request bit.
+    util::BitVec free_inputs(n_in);
+    util::BitVec free_outputs(n_out);
+    for (std::size_t i = 0; i < n_in; ++i) {
+        if (!out.input_matched(i)) free_inputs.set(i);
+    }
+    for (std::size_t j = 0; j < n_out; ++j) {
+        if (!out.output_matched(j)) free_outputs.set(j);
+    }
+
     std::vector<std::size_t> nrq(n_in, 0);
     std::vector<std::size_t> ngt(n_out, 0);
     std::vector<std::int32_t> grant_to(n_out, sched::kUnmatched);
+    std::vector<std::size_t> granted;  // targets that issued a grant
+    granted.reserve(n_out);
+    // Per-initiator accept bookkeeping, reset each iteration.
+    std::vector<std::int32_t> accept_of(n_in, sched::kUnmatched);
+    std::vector<std::size_t> accept_ngt(n_in, 0);
+    std::vector<std::size_t> accept_rank(n_in, 0);
+    util::BitVec cand(n_in);
 
     std::size_t executed = 0;
     for (std::size_t iter = 0; iter < iterations; ++iter) {
         ++executed;
         // Request: NRQ of an unmatched initiator = number of its requests
         // to still-unmatched targets (its remaining choices).
-        for (std::size_t i = 0; i < n_in; ++i) {
-            nrq[i] = 0;
-            if (out.input_matched(i)) continue;
-            const auto& row = requests.row(i);
-            for (std::size_t j = row.find_first(); j != util::BitVec::npos;
-                 j = row.find_next(j)) {
-                if (!out.output_matched(j)) ++nrq[i];
-            }
+        for (const std::size_t i : free_inputs.set_bits()) {
+            nrq[i] = requests.row(i).and_count(free_outputs);
         }
 
         // Grant: each unmatched target grants the requester with the
         // lowest NRQ; the rotating chain starting at (cycle_ + j) breaks
-        // ties. NGT records how many requests the target saw.
-        bool any_grant = false;
-        for (std::size_t j = 0; j < n_out; ++j) {
-            grant_to[j] = sched::kUnmatched;
-            ngt[j] = 0;
-            if (out.output_matched(j)) continue;
-            std::size_t min_nrq = n_out + 1;
-            for (std::size_t k = 0; k < n_in; ++k) {
-                const std::size_t i = (cycle_ + j + k) % n_in;
-                if (out.input_matched(i) || !requests.get(i, j)) continue;
-                ++ngt[j];
-                if (nrq[i] < min_nrq) {
-                    min_nrq = nrq[i];
-                    grant_to[j] = static_cast<std::int32_t>(i);
+        // ties. NGT records how many requests the target saw. One walk
+        // of the candidate set bits replaces the rotated scan over all
+        // inputs: the chain order is the (NRQ, rotated rank) minimum.
+        granted.clear();
+        for (const std::size_t j : free_outputs.set_bits()) {
+            cand.assign_and(requests.col(j), free_inputs);
+            const std::size_t seen = cand.count();
+            if (seen == 0) continue;
+            ngt[j] = seen;
+            const std::size_t start = (cycle_ + j) % n_in;
+            std::size_t best = 0;
+            std::size_t best_nrq = n_out + 1;
+            std::size_t best_rank = n_in;
+            for (const std::size_t i : cand.set_bits()) {
+                const std::size_t rank = rotated_rank(i, start, n_in);
+                if (nrq[i] < best_nrq ||
+                    (nrq[i] == best_nrq && rank < best_rank)) {
+                    best = i;
+                    best_nrq = nrq[i];
+                    best_rank = rank;
                 }
             }
-            any_grant = any_grant || grant_to[j] != sched::kUnmatched;
+            grant_to[j] = static_cast<std::int32_t>(best);
+            granted.push_back(j);
         }
-        if (!any_grant) break;  // converged
+        if (granted.empty()) break;  // converged
 
         // Accept: each initiator accepts the grant from the target with
         // the lowest NGT; rotating chain starting at (cycle_ + i) breaks
-        // ties.
-        for (std::size_t i = 0; i < n_in; ++i) {
-            if (out.input_matched(i)) continue;
-            std::int32_t best = sched::kUnmatched;
-            std::size_t min_ngt = n_in + 1;
-            for (std::size_t k = 0; k < n_out; ++k) {
-                const std::size_t j = (cycle_ + i + k) % n_out;
-                if (grant_to[j] != static_cast<std::int32_t>(i)) continue;
-                if (ngt[j] < min_ngt) {
-                    min_ngt = ngt[j];
-                    best = static_cast<std::int32_t>(j);
-                }
+        // ties. One pass over the issued grants replaces the per-input
+        // scan over all targets.
+        for (const std::size_t j : granted) {
+            const auto i = static_cast<std::size_t>(grant_to[j]);
+            const std::size_t start = (cycle_ + i) % n_out;
+            const std::size_t rank = rotated_rank(j, start, n_out);
+            if (accept_of[i] == sched::kUnmatched || ngt[j] < accept_ngt[i] ||
+                (ngt[j] == accept_ngt[i] && rank < accept_rank[i])) {
+                accept_of[i] = static_cast<std::int32_t>(j);
+                accept_ngt[i] = ngt[j];
+                accept_rank[i] = rank;
             }
-            if (best != sched::kUnmatched) {
-                out.match(i, static_cast<std::size_t>(best));
+        }
+        for (const std::size_t j : granted) {
+            const auto i = static_cast<std::size_t>(grant_to[j]);
+            if (accept_of[i] == static_cast<std::int32_t>(j)) {
+                out.match(i, j);
+                free_inputs.reset(i);
+                free_outputs.reset(j);
             }
+        }
+        for (const std::size_t j : granted) {  // reset for the next iteration
+            accept_of[static_cast<std::size_t>(grant_to[j])] = sched::kUnmatched;
         }
     }
     return executed;

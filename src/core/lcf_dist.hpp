@@ -40,6 +40,13 @@ struct LcfDistOptions {
 /// paper does not pin down the round-robin pointer update rule; we rotate
 /// every per-port tie-break pointer by one position each scheduling
 /// cycle, mirroring the hardware's PRIO shift registers (§4.2).
+///
+/// Implementation: free-input/free-output BitVecs turn the NRQ
+/// recomputation into one row ∩ free_outputs popcount per initiator, and
+/// the grant/accept selections into walks over candidate set bits with a
+/// rotated-rank tie-break — no per-bit `requests.get(i, j)` probing and
+/// no `%` in the inner loops. Bit-identical to
+/// LcfDistReferenceScheduler (enforced by the equivalence suite).
 class LcfDistScheduler final : public sched::Scheduler {
 public:
     explicit LcfDistScheduler(const LcfDistOptions& options = {});

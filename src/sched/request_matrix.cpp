@@ -7,14 +7,29 @@ RequestMatrix::RequestMatrix(std::size_t inputs, std::size_t outputs)
 
 void RequestMatrix::clear() noexcept {
     for (auto& r : rows_) r.clear();
+    if (cols_valid_) {
+        for (auto& c : cols_) c.clear();
+    }
+}
+
+void RequestMatrix::rebuild_columns() const {
+    const std::size_t n_in = rows_.size();
+    if (cols_.size() != outputs_ ||
+        (outputs_ > 0 && cols_[0].size() != n_in)) {
+        cols_.assign(outputs_, util::BitVec(n_in));
+    } else {
+        for (auto& c : cols_) c.clear();
+    }
+    for (std::size_t i = 0; i < n_in; ++i) {
+        for (const std::size_t j : rows_[i].set_bits()) {
+            cols_[j].set(i);
+        }
+    }
+    cols_valid_ = true;
 }
 
 std::size_t RequestMatrix::col_count(std::size_t output) const noexcept {
-    std::size_t n = 0;
-    for (const auto& r : rows_) {
-        if (r.test(output)) ++n;
-    }
-    return n;
+    return col(output).count();
 }
 
 std::size_t RequestMatrix::total() const noexcept {

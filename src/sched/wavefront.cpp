@@ -14,14 +14,19 @@ void WavefrontScheduler::schedule(const RequestMatrix& requests, Matching& out) 
 
     // Wrapped diagonal d holds cells (i, j) with (i + j) mod n_out == d
     // (square switches in practice; rectangular ones sweep per-row).
+    // Only still-free inputs are visited: set bits iterate in ascending
+    // row order, so each diagonal matches exactly the cells the naive
+    // full scan would.
+    if (free_inputs_.size() != n_in) free_inputs_ = util::BitVec(n_in);
+    free_inputs_.fill();
     const std::size_t diags = n_out;
-    for (std::size_t step = 0; step < diags; ++step) {
+    for (std::size_t step = 0; step < diags && free_inputs_.any(); ++step) {
         const std::size_t d = (priority_diag_ + step) % diags;
-        for (std::size_t i = 0; i < n_in; ++i) {
+        for (const std::size_t i : free_inputs_.set_bits()) {
             const std::size_t j = (d + n_out - (i % n_out)) % n_out;
-            if (!out.input_matched(i) && !out.output_matched(j) &&
-                requests.get(i, j)) {
+            if (!out.output_matched(j) && requests.get(i, j)) {
                 out.match(i, j);
+                free_inputs_.reset(i);
             }
         }
     }

@@ -6,10 +6,16 @@
 // is swept first rotates every slot, which provides round-robin fairness.
 
 #include "sched/scheduler.hpp"
+#include "util/bitvec.hpp"
 
 namespace lcf::sched {
 
 /// Wrapped wavefront arbiter (`wfront` in the paper's Figure 12).
+///
+/// The software sweep keeps a free-inputs bit vector and walks only the
+/// still-unmatched rows of each diagonal (in ascending row order, so the
+/// result is identical to the naive full scan), terminating early once
+/// every input is matched.
 class WavefrontScheduler final : public Scheduler {
 public:
     void reset(std::size_t inputs, std::size_t outputs) override;
@@ -20,6 +26,7 @@ public:
 
 private:
     std::size_t priority_diag_ = 0;  // diagonal swept first this slot
+    util::BitVec free_inputs_;       // scratch: inputs not yet matched
 };
 
 }  // namespace lcf::sched

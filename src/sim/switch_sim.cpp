@@ -52,6 +52,11 @@ SwitchSim::SwitchSim(const SimConfig& config,
     }
     if (scheduler_ != nullptr) {
         scheduler_->reset(config_.ports, config_.ports);
+        track_queue_lengths_ = scheduler_->wants_queue_lengths() &&
+                               config_.mode == SwitchMode::kVoq;
+        if (track_queue_lengths_) {
+            queue_lengths_.assign(config_.ports * config_.ports, 0);
+        }
         if (config_.trace_capacity > 0) {
             trace_.emplace(config_.ports, config_.ports,
                            config_.trace_capacity);
@@ -134,14 +139,19 @@ void SwitchSim::step_voq_mode() {
         auto& pq = input_queues_[i];
         while (!pq.empty() &&
                !voqs_[i].queue(pq.front().destination).full()) {
+            const std::size_t dst = pq.front().destination;
             voqs_[i].push(pq.pop());
+            if (track_queue_lengths_) {
+                ++queue_lengths_[i * config_.ports + dst];
+            }
         }
     }
 
     for (std::size_t phase = 0; phase < config_.speedup; ++phase) {
-        // Request matrix from VOQ occupancy.
+        // Request matrix from VOQ occupancy: a word copy of each bank's
+        // incrementally maintained occupancy vector.
         for (std::size_t i = 0; i < config_.ports; ++i) {
-            voqs_[i].fill_request_vector(requests_.row(i));
+            requests_.row(i) = voqs_[i].occupancy();
         }
 
         if (phase == 0 && slot_ >= config_.warmup_slots) {
@@ -156,15 +166,9 @@ void SwitchSim::step_voq_mode() {
         }
 
         // Weight-aware schedulers (iLQF) additionally see the occupancy
-        // counts behind the request bits.
-        if (scheduler_->wants_queue_lengths()) {
-            queue_lengths_.resize(config_.ports * config_.ports);
-            for (std::size_t i = 0; i < config_.ports; ++i) {
-                for (std::size_t j = 0; j < config_.ports; ++j) {
-                    queue_lengths_[i * config_.ports + j] =
-                        static_cast<std::uint32_t>(voqs_[i].queue(j).size());
-                }
-            }
+        // counts behind the request bits (maintained at push/pop, not
+        // gathered here).
+        if (track_queue_lengths_) {
             scheduler_->observe_queue_lengths(queue_lengths_, config_.ports);
         }
 
@@ -180,14 +184,18 @@ void SwitchSim::step_voq_mode() {
         for (std::size_t j = 0; j < config_.ports; ++j) {
             const std::int32_t i = matching_.input_of(j);
             if (i == sched::kUnmatched) continue;
-            auto& q = voqs_[static_cast<std::size_t>(i)].queue(j);
-            assert(!q.empty());
+            auto& bank = voqs_[static_cast<std::size_t>(i)];
+            assert(!bank.queue(j).empty());
             if (config_.speedup == 1) {
-                deliver(q.pop());
+                deliver(bank.pop(j));
             } else if (!output_buffers_[j].full()) {
-                output_buffers_[j].push(q.pop());
+                output_buffers_[j].push(bank.pop(j));
+            } else {
+                continue;  // full output buffer leaves the packet in its VOQ
             }
-            // A full output buffer leaves the packet in its VOQ.
+            if (track_queue_lengths_) {
+                --queue_lengths_[static_cast<std::size_t>(i) * config_.ports + j];
+            }
         }
     }
 

@@ -161,7 +161,12 @@ private:
 
     sched::RequestMatrix requests_;
     sched::Matching matching_;
-    std::vector<std::uint32_t> queue_lengths_;  // scratch for iLQF-style schedulers
+    // VOQ occupancy counts for iLQF-style (weight-aware) schedulers,
+    // maintained incrementally at every VOQ push/pop instead of an
+    // O(ports²) gather per scheduling phase. Only tracked when the
+    // scheduler asks for queue lengths.
+    std::vector<std::uint32_t> queue_lengths_;
+    bool track_queue_lengths_ = false;
 
     std::optional<obs::SchedTrace> trace_;
     std::optional<obs::ParanoidChecker> checker_;

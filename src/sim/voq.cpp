@@ -3,23 +3,18 @@
 namespace lcf::sim {
 
 VoqBank::VoqBank(std::size_t outputs, std::size_t capacity)
-    : queues_(outputs, PacketQueue(capacity)) {}
+    : queues_(outputs, PacketQueue(capacity)), occupancy_(outputs) {}
 
 bool VoqBank::push(const Packet& p) noexcept {
-    return queues_[p.destination].push(p);
+    const bool accepted = queues_[p.destination].push(p);
+    if (accepted) occupancy_.set(p.destination);
+    return accepted;
 }
 
-util::BitVec VoqBank::request_vector() const {
-    util::BitVec v(queues_.size());
-    fill_request_vector(v);
-    return v;
-}
-
-void VoqBank::fill_request_vector(util::BitVec& out) const noexcept {
-    out.clear();
-    for (std::size_t j = 0; j < queues_.size(); ++j) {
-        if (!queues_[j].empty()) out.set(j);
-    }
+Packet VoqBank::pop(std::size_t output) noexcept {
+    Packet p = queues_[output].pop();
+    if (queues_[output].empty()) occupancy_.reset(output);
+    return p;
 }
 
 std::size_t VoqBank::total_buffered() const noexcept {

@@ -12,6 +12,12 @@
 namespace lcf::sim {
 
 /// Per-input VOQ bank: `outputs` bounded FIFOs.
+///
+/// The occupancy bit vector is maintained incrementally on push()/pop()
+/// (one bit flip when a queue transitions empty <-> non-empty), so the
+/// simulator's per-phase request-matrix rebuild is a word copy instead
+/// of n per-queue emptiness probes. All mutations must therefore go
+/// through the bank — queue() hands out const access only.
 class VoqBank {
 public:
     VoqBank() = default;
@@ -20,28 +26,35 @@ public:
 
     [[nodiscard]] std::size_t outputs() const noexcept { return queues_.size(); }
 
-    /// Queue holding packets destined for `output`.
+    /// Queue holding packets destined for `output` (read-only; mutate
+    /// via push()/pop()).
     [[nodiscard]] const PacketQueue& queue(std::size_t output) const noexcept {
-        return queues_[output];
-    }
-    [[nodiscard]] PacketQueue& queue(std::size_t output) noexcept {
         return queues_[output];
     }
 
     /// Enqueue into the destination's queue; false (drop) when full.
     bool push(const Packet& p) noexcept;
+    /// Dequeue the head packet destined for `output` (precondition: the
+    /// queue is non-empty).
+    Packet pop(std::size_t output) noexcept;
 
     /// Occupancy bits: bit j set iff queue j is non-empty — exactly the
     /// request vector this input sends to the scheduler.
-    [[nodiscard]] util::BitVec request_vector() const;
+    [[nodiscard]] const util::BitVec& occupancy() const noexcept {
+        return occupancy_;
+    }
+    [[nodiscard]] util::BitVec request_vector() const { return occupancy_; }
     /// Write occupancy bits into `out` (which must have size outputs()).
-    void fill_request_vector(util::BitVec& out) const noexcept;
+    void fill_request_vector(util::BitVec& out) const noexcept {
+        out = occupancy_;
+    }
 
     /// Total packets buffered across all queues.
     [[nodiscard]] std::size_t total_buffered() const noexcept;
 
 private:
     std::vector<PacketQueue> queues_;
+    util::BitVec occupancy_;
 };
 
 }  // namespace lcf::sim

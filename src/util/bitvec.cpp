@@ -1,19 +1,18 @@
 #include "util/bitvec.hpp"
 
 #include <bit>
-#include <cassert>
 
 namespace lcf::util {
 
 BitVec::BitVec(std::size_t size) : size_(size), words_(word_count(), 0) {}
 
 bool BitVec::test(std::size_t i) const noexcept {
-    assert(i < size_);
+    LCF_BITVEC_ASSERT(i < size_);
     return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
 }
 
 void BitVec::set(std::size_t i, bool value) noexcept {
-    assert(i < size_);
+    LCF_BITVEC_ASSERT(i < size_);
     const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
     if (value) {
         words_[i / kWordBits] |= mask;
@@ -40,6 +39,12 @@ void BitVec::trim() noexcept {
     }
 }
 
+void BitVec::set_word(std::size_t wi, std::uint64_t bits) noexcept {
+    LCF_BITVEC_ASSERT(wi < words_.size());
+    words_[wi] = bits;
+    if (wi + 1 == words_.size()) trim();
+}
+
 std::size_t BitVec::count() const noexcept {
     std::size_t total = 0;
     for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
@@ -64,7 +69,9 @@ std::size_t BitVec::find_first() const noexcept {
 }
 
 std::size_t BitVec::find_next(std::size_t pos) const noexcept {
-    if (pos + 1 >= size_) return npos;
+    // Guard before the +1: pos >= size() (including pos == npos) has no
+    // successor, and npos + 1 would otherwise wrap to 0 and rescan.
+    if (pos >= size_ || pos + 1 >= size_) return npos;
     std::size_t wi = (pos + 1) / kWordBits;
     const std::size_t bi = (pos + 1) % kWordBits;
     std::uint64_t w = words_[wi] & (~std::uint64_t{0} << bi);
@@ -77,28 +84,86 @@ std::size_t BitVec::find_next(std::size_t pos) const noexcept {
     }
 }
 
+std::size_t BitVec::find_first_from(std::size_t pos) const noexcept {
+    if (size_ == 0) return npos;
+    LCF_BITVEC_ASSERT(pos < size_);
+    if (pos >= size_) pos = 0;
+    // Tail segment [pos, size()): like find_next(pos - 1) but inclusive.
+    std::size_t wi = pos / kWordBits;
+    const std::size_t bi = pos % kWordBits;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << bi);
+    while (true) {
+        if (w != 0) {
+            return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+        }
+        if (++wi >= words_.size()) break;
+        w = words_[wi];
+    }
+    // Wrapped segment [0, pos).
+    for (wi = 0; wi <= pos / kWordBits; ++wi) {
+        w = words_[wi];
+        if (wi == pos / kWordBits) w &= (std::uint64_t{1} << bi) - 1;
+        if (w != 0) {
+            return wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+        }
+    }
+    return npos;
+}
+
+std::size_t BitVec::and_count(const BitVec& other) const noexcept {
+    LCF_BITVEC_ASSERT(size_ == other.size_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        total += static_cast<std::size_t>(
+            std::popcount(words_[i] & other.words_[i]));
+    }
+    return total;
+}
+
+bool BitVec::intersects(const BitVec& other) const noexcept {
+    LCF_BITVEC_ASSERT(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+}
+
 BitVec& BitVec::operator&=(const BitVec& other) noexcept {
-    assert(size_ == other.size_);
+    LCF_BITVEC_ASSERT(size_ == other.size_);
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
     return *this;
 }
 
 BitVec& BitVec::operator|=(const BitVec& other) noexcept {
-    assert(size_ == other.size_);
+    LCF_BITVEC_ASSERT(size_ == other.size_);
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
     return *this;
 }
 
 BitVec& BitVec::operator^=(const BitVec& other) noexcept {
-    assert(size_ == other.size_);
+    LCF_BITVEC_ASSERT(size_ == other.size_);
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
     return *this;
 }
 
 BitVec& BitVec::subtract(const BitVec& other) noexcept {
-    assert(size_ == other.size_);
+    LCF_BITVEC_ASSERT(size_ == other.size_);
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
     return *this;
+}
+
+void BitVec::assign_and(const BitVec& src, const BitVec& mask) noexcept {
+    LCF_BITVEC_ASSERT(size_ == src.size_ && size_ == mask.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        words_[i] = src.words_[i] & mask.words_[i];
+    }
+}
+
+void BitVec::assign_subtract(const BitVec& src, const BitVec& mask) noexcept {
+    LCF_BITVEC_ASSERT(size_ == src.size_ && size_ == mask.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        words_[i] = src.words_[i] & ~mask.words_[i];
+    }
 }
 
 std::string BitVec::to_string() const {

@@ -69,6 +69,29 @@ public:
     /// Bernoulli trial with success probability p (clamped to [0,1]).
     constexpr bool next_bool(double p) noexcept { return next_double() < p; }
 
+    /// 64 independent Bernoulli(p) trials packed into one word, one per
+    /// bit, with p quantised to 16 binary digits (q = round(p * 2^16)).
+    ///
+    /// Bit-sliced construction: starting from r = 0 (all-fail), each of
+    /// the 16 digits of q folds in one uniform random word w —
+    /// OR when the digit is 1, AND when it is 0 — which leaves every bit
+    /// set with probability exactly q / 2^16. Sixteen RNG draws for 64
+    /// trials, versus 64 draws (and 64 FP compares) bit by bit.
+    constexpr std::uint64_t next_bernoulli_word(double p) noexcept {
+        if (p <= 0.0) return 0;
+        if (p >= 1.0) return ~0ULL;
+        const auto q =
+            static_cast<std::uint32_t>(p * 65536.0 + 0.5);  // p in 0.16 fixed point
+        if (q == 0) return 0;
+        if (q >= 65536) return ~0ULL;
+        std::uint64_t r = 0;
+        for (int k = 0; k < 16; ++k) {
+            const std::uint64_t w = (*this)();
+            r = (q >> k & 1u) ? (r | w) : (r & w);
+        }
+        return r;
+    }
+
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
         return (x << k) | (x >> (64 - k));

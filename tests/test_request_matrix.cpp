@@ -76,5 +76,63 @@ TEST(RequestMatrix, MutableRowAccess) {
     EXPECT_TRUE(m.get(1, 3));
 }
 
+TEST(RequestMatrix, ColumnViewTransposesRows) {
+    const RequestMatrix m = make_requests(
+        4, {{0, 1}, {0, 2}, {1, 0}, {1, 2}, {1, 3}, {2, 0}, {2, 2}, {2, 3},
+            {3, 1}});
+    for (std::size_t j = 0; j < 4; ++j) {
+        const auto& col = m.col(j);
+        ASSERT_EQ(col.size(), 4u);
+        for (std::size_t i = 0; i < 4; ++i) {
+            EXPECT_EQ(col.test(i), m.get(i, j)) << i << "," << j;
+        }
+    }
+}
+
+TEST(RequestMatrix, ColumnViewRectangular) {
+    RequestMatrix m(3, 5);
+    m.set(0, 4);
+    m.set(2, 4);
+    m.set(1, 0);
+    EXPECT_EQ(m.col(4).count(), 2u);
+    EXPECT_TRUE(m.col(4).test(0));
+    EXPECT_TRUE(m.col(4).test(2));
+    EXPECT_EQ(m.col(0).count(), 1u);
+    EXPECT_EQ(m.col(1).count(), 0u);
+}
+
+TEST(RequestMatrix, ColumnViewTracksSetAndClear) {
+    RequestMatrix m(4);
+    m.set(1, 2);
+    EXPECT_TRUE(m.col(2).test(1));  // materializes the view
+    m.set(3, 2);                    // in-place column update
+    EXPECT_TRUE(m.col(2).test(3));
+    m.set(1, 2, false);
+    EXPECT_FALSE(m.col(2).test(1));
+    m.clear();
+    EXPECT_EQ(m.col(2).count(), 0u);
+}
+
+TEST(RequestMatrix, ColumnViewInvalidatedByMutableRow) {
+    RequestMatrix m(4);
+    m.set(0, 1);
+    EXPECT_TRUE(m.col(1).test(0));
+    // Writing through the row view bypasses set(); col() must rebuild.
+    m.row(2).set(1);
+    m.row(0).reset(1);
+    EXPECT_TRUE(m.col(1).test(2));
+    EXPECT_FALSE(m.col(1).test(0));
+    EXPECT_EQ(m.col_count(1), 1u);
+}
+
+TEST(RequestMatrix, EqualityIgnoresColumnCacheState) {
+    RequestMatrix a(4), b(4);
+    a.set(1, 3);
+    b.set(1, 3);
+    (void)a.col(3);  // a has a materialized column view, b does not
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, a);
+}
+
 }  // namespace
 }  // namespace lcf::sched

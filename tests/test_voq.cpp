@@ -51,7 +51,7 @@ TEST(VoqBank, PerQueueCapacityEnforced) {
 TEST(VoqBank, RequestVectorEmptiesAfterDrain) {
     VoqBank bank(3, 4);
     bank.push(Packet{0, 0, 2, 0});
-    bank.queue(2).pop();
+    bank.pop(2);
     EXPECT_TRUE(bank.request_vector().none());
 }
 

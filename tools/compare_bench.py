@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_sched_speed run against the committed baseline.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json [--max-ratio 3.0]
+
+BASELINE.json is the committed BENCH_sched_speed.json (see
+tools/make_bench_baseline.py); its "raw" map holds per-benchmark CPU
+times in nanoseconds. FRESH.json is raw google-benchmark JSON output
+(bench_sched_speed --json FRESH.json). The script exits nonzero when any
+benchmark present in both files is slower than max-ratio times its
+baseline — a deliberately loose bound so CI catches complexity
+regressions (an accidental O(n^2) inner loop) without flaking on
+machine-to-machine noise.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cpu_times(path):
+    """Return {benchmark_name: cpu_time_ns} from either file format."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "raw" in doc:  # committed baseline format
+        return {name: float(ns) for name, ns in doc["raw"].items()}
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out[b["name"]] = float(b["cpu_time"]) * scale
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-ratio", type=float, default=3.0,
+                        help="fail when fresh/baseline exceeds this "
+                             "(default: 3.0)")
+    args = parser.parse_args()
+
+    baseline = load_cpu_times(args.baseline)
+    fresh = load_cpu_times(args.fresh)
+
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        print("compare_bench: no common benchmarks between "
+              f"{args.baseline} and {args.fresh}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in common:
+        ratio = fresh[name] / baseline[name] if baseline[name] > 0 else 0.0
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"{status:4} {name:40} baseline {baseline[name]:12.1f} ns  "
+              f"fresh {fresh[name]:12.1f} ns  ratio {ratio:6.2f}x")
+        if ratio > args.max_ratio:
+            failures.append((name, ratio))
+
+    if failures:
+        print(f"\ncompare_bench: {len(failures)} benchmark(s) slower than "
+              f"{args.max_ratio}x baseline:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\ncompare_bench: all {len(common)} benchmarks within "
+          f"{args.max_ratio}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Regenerate the committed BENCH_sched_speed.json perf baseline.
+
+Usage:
+    make_bench_baseline.py [--build-dir build] [--output BENCH_sched_speed.json]
+                           [--min-time 0.05]
+
+Runs a Release-built bench_sched_speed over every registered benchmark,
+then writes a baseline document with:
+
+  - "results": per-scheduler before/after rows pairing each optimized
+    LCF benchmark (BM_LcfCentral/...) with its pre-optimization
+    reference twin (BM_LcfCentralReference/...), including the speedup
+    ratio — the numbers quoted in docs/performance.md;
+  - "raw": the flat {benchmark name: cpu ns} map tools/compare_bench.py
+    checks CI runs against.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+PAIRS = [
+    ("lcf_central", "BM_LcfCentral", "BM_LcfCentralReference"),
+    ("lcf_central_rr", "BM_LcfCentralRr", "BM_LcfCentralRrReference"),
+    ("lcf_dist", "BM_LcfDist", "BM_LcfDistReference"),
+    ("lcf_dist_rr", "BM_LcfDistRr", "BM_LcfDistRrReference"),
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--output", default="BENCH_sched_speed.json")
+    parser.add_argument("--min-time", type=float, default=0.05)
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "bench", "bench_sched_speed")
+    if not os.path.exists(binary):
+        print(f"{binary} not found; build the Release tree first",
+              file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        subprocess.run(
+            [binary, f"--benchmark_min_time={args.min_time}",
+             "--json", tmp_path],
+            check=True)
+        with open(tmp_path) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+    raw = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        raw[b["name"]] = round(float(b["cpu_time"]) * scale, 1)
+
+    results = []
+    for sched, after_bm, before_bm in PAIRS:
+        sizes = sorted(
+            int(name.split("/")[1])
+            for name in raw
+            if name.startswith(after_bm + "/"))
+        for n in sizes:
+            after = raw.get(f"{after_bm}/{n}")
+            before = raw.get(f"{before_bm}/{n}")
+            if after is None or before is None:
+                continue
+            results.append({
+                "scheduler": sched,
+                "n": n,
+                "cpu_ns_before": before,
+                "cpu_ns_after": after,
+                "speedup": round(before / after, 2) if after > 0 else None,
+            })
+
+    baseline = {
+        "bench": "bench_sched_speed",
+        "workload": "random request matrices, density 0.35, "
+                    "iterations 4 (iterative schedulers)",
+        "build_type": doc.get("context", {}).get(
+            "library_build_type", "unknown"),
+        "host_cpus": doc.get("context", {}).get("num_cpus"),
+        "results": results,
+        "raw": raw,
+    }
+    with open(args.output, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output}: {len(results)} before/after rows, "
+          f"{len(raw)} raw entries")
+    for row in results:
+        print(f"  {row['scheduler']:16} n={row['n']:<4} "
+              f"{row['cpu_ns_before']:>12.1f} -> {row['cpu_ns_after']:>10.1f} ns "
+              f"({row['speedup']}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI perf smoke: run the scheduler microbenchmarks at n in {16, 64} on a
+# Release build and fail on crash or on any benchmark slower than 3x the
+# committed BENCH_sched_speed.json baseline (complexity regressions, not
+# machine noise, are the target — see tools/compare_bench.py).
+#
+# Usage: tools/perf_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BASELINE="$REPO_ROOT/BENCH_sched_speed.json"
+BINARY="$BUILD_DIR/bench/bench_sched_speed"
+
+if [[ ! -x "$BINARY" ]]; then
+    echo "perf_smoke: $BINARY not found; build the Release tree first" >&2
+    exit 2
+fi
+
+FRESH=$(mktemp --suffix=.json)
+trap 'rm -f "$FRESH"' EXIT
+
+"$BINARY" --benchmark_filter='/(16|64)$' --benchmark_min_time=0.05 \
+    --json "$FRESH"
+
+python3 "$REPO_ROOT/tools/compare_bench.py" "$BASELINE" "$FRESH" \
+    --max-ratio 3.0
