@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
         e.add_row({ber_str, std::to_string(r.bulk.config_crc_errors),
                    std::to_string(r.bulk.data_corruptions),
                    std::to_string(r.bulk.retransmissions),
-                   std::to_string(r.bulk.delivered),
+                   std::to_string(r.bulk.delivered_unique),
                    std::to_string(r.quick.retransmissions),
                    AsciiTable::num(r.quick.delivery_ratio, 3)});
     }
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
         const auto r = sim.run();
         std::cout << "  " << kMulticasts << " three-way multicasts injected; "
                   << r.multicast_copies << " per-target copies delivered "
-                  << "alongside " << r.delivered << " unicast packets\n";
+                  << "alongside " << r.delivered_unique << " unicast packets\n";
     }
     return 0;
 }

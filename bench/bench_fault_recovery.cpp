@@ -1,0 +1,111 @@
+// Measures what the bulk channel's recovery machinery costs and buys
+// under fault pressure: a bit-error-rate sweep comparing fixed timeout
+// retransmission against bounded exponential backoff (retransmissions,
+// recovery latency, duplicates suppressed, goodput), and a crash-storm
+// series showing how goodput degrades and recovers as hosts fall out of
+// and rejoin the schedule.
+
+#include <iostream>
+
+#include "clint/bulk_channel.hpp"
+#include "traffic/bernoulli.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+lcf::clint::BulkChannelResult run_point(std::uint64_t hosts,
+                                        std::uint64_t slots, double load,
+                                        double ber, bool backoff,
+                                        const lcf::fault::FaultPlan& plan) {
+    lcf::clint::BulkChannelConfig c;
+    c.hosts = hosts;
+    c.slots = slots;
+    c.warmup_slots = slots / 10;
+    c.bit_error_rate = ber;
+    c.max_retries = 32;
+    c.exponential_backoff = backoff;
+    c.fault_plan = plan;
+    lcf::clint::BulkChannelSim sim(
+        c, std::make_unique<lcf::traffic::BernoulliUniform>(load));
+    return sim.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t hosts = 8;
+    std::uint64_t slots = 20000;
+    double load = 0.5;
+    lcf::util::CliParser cli(
+        "Bulk-channel recovery cost under faults: timeout policy sweep "
+        "and crash storms");
+    cli.flag("hosts", "cluster size (<= 16)", &hosts)
+        .flag("slots", "simulated slots per point", &slots)
+        .flag("load", "bulk packets per host per slot", &load);
+    if (!cli.parse(argc, argv)) return cli.exit_code();
+
+    using lcf::util::AsciiTable;
+
+    std::cout << "Recovery policy sweep, " << hosts << " hosts, " << slots
+              << " slots, load " << load << " (max_retries 32):\n\n";
+    AsciiTable t;
+    t.header({"BER", "policy", "delivered", "retrans", "recovered",
+              "recovery delay", "duplicates", "goodput"});
+    for (const double ber : {1e-7, 1e-6, 1e-5}) {
+        for (const bool backoff : {false, true}) {
+            const auto r = run_point(hosts, slots, load, ber, backoff, {});
+            t.add_row({AsciiTable::num(ber, 7),
+                       backoff ? "exp backoff" : "fixed timeout",
+                       std::to_string(r.delivered_unique),
+                       std::to_string(r.retransmissions),
+                       std::to_string(r.recovered),
+                       AsciiTable::num(r.mean_recovery_delay, 2),
+                       std::to_string(r.duplicate_deliveries),
+                       AsciiTable::num(r.goodput, 3)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "(backoff trades retransmission pressure for recovery "
+                 "latency; duplicates measure acks lost after a "
+                 "successful delivery)\n\n";
+
+    std::cout << "Crash storm (BER 1e-6, one host down at a time):\n";
+    AsciiTable s;
+    s.header({"crash cycle [slots]", "crashes", "crash lost", "delivered",
+              "goodput", "conservation"});
+    for (const std::uint64_t cycle :
+         {std::uint64_t{0}, slots / 16, slots / 8, slots / 4}) {
+        lcf::fault::FaultPlan plan;
+        if (cycle > 0) {
+            std::size_t victim = 0;
+            for (std::uint64_t at = cycle; at + cycle / 2 < slots;
+                 at += cycle) {
+                plan.add_host_crash(victim, at, at + cycle / 2);
+                victim = (victim + 1) % hosts;
+            }
+        }
+        lcf::clint::BulkChannelConfig c;
+        c.hosts = hosts;
+        c.slots = slots;
+        c.warmup_slots = slots / 10;
+        c.bit_error_rate = 1e-6;
+        c.max_retries = 32;
+        c.exponential_backoff = true;
+        c.fault_plan = plan;
+        lcf::clint::BulkChannelSim sim(
+            c, std::make_unique<lcf::traffic::BernoulliUniform>(load));
+        const auto r = sim.run();
+        s.add_row({cycle == 0 ? "none" : std::to_string(cycle),
+                   std::to_string(r.faults.crashes),
+                   std::to_string(r.crash_lost),
+                   std::to_string(r.delivered_unique),
+                   AsciiTable::num(r.goodput, 3),
+                   sim.accounting().balanced() ? "exact" : "VIOLATED"});
+    }
+    s.print(std::cout);
+    std::cout << "(crashed hosts are masked out of the request matrix, so "
+                 "the survivors keep their full schedule; the accounting "
+                 "identity stays exact through every crash)\n";
+    return 0;
+}

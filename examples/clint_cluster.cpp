@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
     t.header({"metric", "bulk (LCF-scheduled)", "quick (best-effort)"});
     t.add_row({"generated", std::to_string(r.bulk.generated),
                std::to_string(r.quick.generated)});
-    t.add_row({"delivered", std::to_string(r.bulk.delivered),
-               std::to_string(r.quick.delivered)});
+    t.add_row({"delivered", std::to_string(r.bulk.delivered_unique),
+               std::to_string(r.quick.delivered_unique)});
     t.add_row({"mean delay [slots]", AsciiTable::num(r.bulk.mean_delay, 2),
                AsciiTable::num(r.quick.mean_delay, 2)});
     t.add_row({"goodput / delivery", AsciiTable::num(r.bulk.goodput, 3),

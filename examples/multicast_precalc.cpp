@@ -86,7 +86,7 @@ int main() {
     std::cout << "\nClint bulk channel, 8 hosts, 1000 slots, 20 two-way "
                  "multicasts injected:\n"
               << "  multicast copies delivered: " << stats.multicast_copies
-              << "\n  unicast packets delivered: " << stats.delivered
+              << "\n  unicast packets delivered: " << stats.delivered_unique
               << "\n  mean unicast delay:        " << stats.mean_delay
               << " slots\n";
     std::cout << "\nThe precalculated schedule reuses the scheduler's "

@@ -7,6 +7,15 @@
 
 namespace lcf::clint {
 
+namespace {
+
+/// Independent-bit corruption probability for `bits` bits at `ber`.
+double corruption_probability(double ber, std::size_t bits) noexcept {
+    return 1.0 - std::pow(1.0 - ber, static_cast<double>(bits));
+}
+
+}  // namespace
+
 BulkChannelSim::BulkChannelSim(
     const BulkChannelConfig& config,
     std::unique_ptr<traffic::TrafficGenerator> traffic)
@@ -31,7 +40,15 @@ BulkChannelSim::BulkChannelSim(
         downlinks_.emplace_back(config_.bit_error_rate,
                                 util::derive_seed(config_.seed, 200 + h));
     }
+    seq_.reset(config_.hosts * config_.hosts);
+    next_flow_seq_.assign(config_.hosts * config_.hosts, 0);
     switch_crc_flag_.assign(config_.hosts, false);
+    switch_link_flag_.assign(config_.hosts, false);
+    host_up_.assign(config_.hosts, true);
+    if (!config_.fault_plan.empty()) {
+        injector_.emplace(config_.fault_plan);
+        injector_->reset(config_.hosts);
+    }
     if (config_.paranoid) {
         // Default options only: the diagonal-fairness check is
         // deliberately left off because precalculated multicast claims
@@ -42,9 +59,9 @@ BulkChannelSim::BulkChannelSim(
     }
     // Independent-bit corruption over the nominal payload / ack sizes.
     p_data_corrupt_ =
-        1.0 - std::pow(1.0 - config_.bit_error_rate,
-                       static_cast<double>(config_.payload_bits));
-    p_ack_corrupt_ = 1.0 - std::pow(1.0 - config_.bit_error_rate, 64.0);
+        corruption_probability(config_.bit_error_rate, config_.payload_bits);
+    p_ack_corrupt_ =
+        corruption_probability(config_.bit_error_rate, config_.ack_bits);
 }
 
 void BulkChannelSim::enqueue_multicast(std::size_t host,
@@ -58,6 +75,23 @@ void BulkChannelSim::set_bulk_enable_report(std::size_t host,
     hosts_[host].ben_report = ben_mask;
 }
 
+bool BulkChannelSim::host_up(std::size_t host) const noexcept {
+    return host_up_[host];
+}
+
+std::uint64_t BulkChannelSim::retry_window(
+    std::uint32_t retries) const noexcept {
+    if (!config_.exponential_backoff) return config_.ack_timeout;
+    if (retries >= 63) return config_.backoff_cap;
+    const std::uint64_t window = config_.ack_timeout << retries;
+    // Catch shift overflow past the cap as well as plain growth.
+    if (window > config_.backoff_cap ||
+        (window >> retries) != config_.ack_timeout) {
+        return config_.backoff_cap;
+    }
+    return window;
+}
+
 std::uint16_t BulkChannelSim::request_mask(const Host& h) const {
     // A VOQ contributes a request only for packets not already committed
     // to an in-flight grant; lost transfers waiting in the retransmit
@@ -69,9 +103,52 @@ std::uint16_t BulkChannelSim::request_mask(const Host& h) const {
         }
     }
     for (const auto& p : h.retransmit) {
-        mask = static_cast<std::uint16_t>(mask | (1U << p.destination));
+        mask = static_cast<std::uint16_t>(mask | (1U << p.packet.destination));
     }
     return mask;
+}
+
+void BulkChannelSim::crash_host(std::size_t host) {
+    Host& h = hosts_[host];
+    // Everything the host buffered dies with it. Undelivered packets are
+    // accounted as crash losses and their sequence holes closed so the
+    // receiver-side trackers keep advancing; copies whose delivery
+    // already landed (only the ack was pending) just disappear.
+    for (std::size_t j = 0; j < config_.hosts; ++j) {
+        while (!h.voqs.queue(j).empty()) {
+            const sim::Packet p = h.voqs.pop(j);
+            ++stats_.crash_lost;
+            seq_.skip(flow_of(p), p.flow_seq);
+        }
+    }
+    for (const auto& r : h.retransmit) {
+        if (!r.delivered) {
+            ++stats_.crash_lost;
+            seq_.skip(flow_of(r.packet), r.packet.flow_seq);
+        }
+    }
+    h.retransmit.clear();
+    for (const auto& o : h.outstanding) {
+        if (!o.delivered) {
+            ++stats_.crash_lost;
+            seq_.skip(flow_of(o.packet), o.packet.flow_seq);
+        }
+    }
+    h.outstanding.clear();
+    stats_.multicast_lost += h.multicast.size();
+    h.multicast.clear();
+    h.committed.assign(config_.hosts, 0);
+    h.pending_grant.reset();
+    h.pending_multicast = false;
+    h.pending_fanout.clear();
+}
+
+void BulkChannelSim::apply_host_faults() {
+    for (std::size_t h = 0; h < config_.hosts; ++h) {
+        const bool up = injector_->host_up(h, slot_);
+        if (host_up_[h] && !up) crash_host(h);
+        host_up_[h] = up;
+    }
 }
 
 void BulkChannelSim::step_arrivals() {
@@ -79,39 +156,68 @@ void BulkChannelSim::step_arrivals() {
         const std::int32_t dst = traffic_->arrival(h, slot_);
         if (dst == traffic::kNoArrival) continue;
         ++stats_.generated;
-        const sim::Packet p{next_packet_id_++, static_cast<std::uint32_t>(h),
-                            static_cast<std::uint32_t>(dst), slot_};
-        if (!hosts_[h].voqs.push(p)) ++stats_.dropped_voq;
+        sim::Packet p{next_packet_id_++, static_cast<std::uint32_t>(h),
+                      static_cast<std::uint32_t>(dst), slot_};
+        p.flow_seq = next_flow_seq_[flow_of(p)]++;
+        if (!host_up_[h]) {
+            // A crashed host generates into the void: the application
+            // offered the packet, the dead protocol stack lost it.
+            ++stats_.crash_lost;
+            seq_.skip(flow_of(p), p.flow_seq);
+            continue;
+        }
+        if (!hosts_[h].voqs.push(p)) {
+            ++stats_.dropped_voq;
+            seq_.skip(flow_of(p), p.flow_seq);
+        }
     }
 }
 
 void BulkChannelSim::step_timeouts() {
     for (auto& h : hosts_) {
         for (std::size_t k = 0; k < h.outstanding.size();) {
-            if (slot_ - h.outstanding[k].sent_slot >= config_.ack_timeout) {
-                h.retransmit.push_back(h.outstanding[k].packet);
-                ++stats_.retransmissions;
-                h.outstanding.erase(h.outstanding.begin() +
-                                    static_cast<std::ptrdiff_t>(k));
-            } else {
+            OutstandingTransfer& o = h.outstanding[k];
+            if (slot_ - o.sent_slot < retry_window(o.retries)) {
                 ++k;
+                continue;
             }
+            if (config_.max_retries != 0 && o.retries >= config_.max_retries) {
+                // Give up. If the target never saw it, that is a real
+                // loss; if only the ack kept vanishing, the delivery
+                // already counted and the copy simply dies.
+                if (!o.delivered) {
+                    ++stats_.abandoned;
+                    seq_.skip(flow_of(o.packet), o.packet.flow_seq);
+                }
+            } else {
+                h.retransmit.push_back(PendingRetransmit{
+                    o.packet, o.first_sent, o.retries + 1, o.delivered});
+                ++stats_.retransmissions;
+            }
+            h.outstanding.erase(h.outstanding.begin() +
+                                static_cast<std::ptrdiff_t>(k));
         }
     }
 }
 
-void BulkChannelSim::deliver(const sim::Packet& p, std::size_t target) {
-    (void)target;
-    if (delivered_ids_.insert(p.id).second) {
-        ++stats_.delivered;
-        const std::uint64_t delay = slot_ + 1 - p.generated_slot;
-        if (p.generated_slot >= config_.warmup_slots) {
-            delay_.add(static_cast<double>(delay));
-        }
-        if (slot_ >= config_.warmup_slots) ++delivered_after_warmup_;
-    } else {
-        ++stats_.duplicates;
+bool BulkChannelSim::deliver(const sim::Packet& p, std::uint64_t first_sent,
+                             std::uint32_t retries) {
+    if (!seq_.deliver(flow_of(p), p.flow_seq)) {
+        ++stats_.duplicate_deliveries;
+        return false;
     }
+    ++stats_.delivered_unique;
+    const std::uint64_t delay = slot_ + 1 - p.generated_slot;
+    if (p.generated_slot >= config_.warmup_slots) {
+        delay_.add(static_cast<double>(delay));
+        delay_hist_.add(delay);
+    }
+    if (slot_ >= config_.warmup_slots) ++delivered_after_warmup_;
+    if (retries > 0) {
+        ++stats_.recovered;
+        recovery_delay_.add(static_cast<double>(slot_ + 1 - first_sent));
+    }
+    return true;
 }
 
 void BulkChannelSim::step_transfers() {
@@ -125,12 +231,27 @@ void BulkChannelSim::step_transfers() {
             const MulticastEntry mc = h.multicast.front();
             h.multicast.pop_front();
             for (const std::size_t target : h.pending_fanout) {
-                if (!data_rng_.next_bool(p_data_corrupt_)) {
-                    ++stats_.multicast_copies;
-                } else {
-                    ++stats_.data_corruptions;
+                double p_corrupt = p_data_corrupt_;
+                if (injector_) {
+                    const double extra =
+                        injector_->extra_ber(fault::LinkKind::kData, hi, slot_);
+                    if (extra > 0.0) {
+                        p_corrupt = 1.0 - (1.0 - p_data_corrupt_) *
+                                              std::pow(1.0 - extra,
+                                                       static_cast<double>(
+                                                           config_.payload_bits));
+                    }
                 }
-                (void)target;
+                if (data_rng_.next_bool(p_corrupt)) {
+                    ++stats_.data_corruptions;
+                } else if (injector_ &&
+                           (!host_up_[target] ||
+                            injector_->packet_lost(fault::LinkKind::kData, hi,
+                                                   slot_))) {
+                    ++stats_.multicast_lost;
+                } else {
+                    ++stats_.multicast_copies;
+                }
             }
             (void)mc;
             h.pending_multicast = false;
@@ -146,11 +267,19 @@ void BulkChannelSim::step_transfers() {
         // Pick the packet for this target: lost transfers first, then
         // the VOQ head.
         sim::Packet packet;
+        std::uint64_t first_sent = slot_;
+        std::uint32_t retries = 0;
+        bool delivered_before = false;
         const auto rit = std::find_if(
             h.retransmit.begin(), h.retransmit.end(),
-            [&](const sim::Packet& p) { return p.destination == target; });
+            [&](const PendingRetransmit& r) {
+                return r.packet.destination == target;
+            });
         if (rit != h.retransmit.end()) {
-            packet = *rit;
+            packet = rit->packet;
+            first_sent = rit->first_sent;
+            retries = rit->retries;
+            delivered_before = rit->delivered;
             h.retransmit.erase(rit);
         } else {
             assert(!h.voqs.queue(target).empty());
@@ -158,25 +287,60 @@ void BulkChannelSim::step_transfers() {
         }
 
         // Bulk data packet across the fabric.
-        if (data_rng_.next_bool(p_data_corrupt_)) {
+        double p_corrupt = p_data_corrupt_;
+        if (injector_) {
+            const double extra =
+                injector_->extra_ber(fault::LinkKind::kData, hi, slot_);
+            if (extra > 0.0) {
+                p_corrupt =
+                    1.0 - (1.0 - p_data_corrupt_) *
+                              std::pow(1.0 - extra,
+                                       static_cast<double>(config_.payload_bits));
+            }
+        }
+        if (data_rng_.next_bool(p_corrupt) ||
+            (injector_ && (!host_up_[target] ||
+                           injector_->packet_lost(fault::LinkKind::kData, hi,
+                                                  slot_)))) {
             ++stats_.data_corruptions;
             // No ack will come; the timeout path retransmits.
-            h.outstanding.push_back(OutstandingTransfer{packet, slot_});
+            h.outstanding.push_back(OutstandingTransfer{
+                packet, slot_, first_sent, retries, delivered_before});
             continue;
         }
-        deliver(packet, target);
+        deliver(packet, first_sent, retries);
 
-        // Acknowledgment back over the quick channel.
+        // Acknowledgment back over the quick channel (sent by `target`).
         last_acks_.emplace_back(target, hi);
-        if (data_rng_.next_bool(p_ack_corrupt_)) {
+        double p_ack = p_ack_corrupt_;
+        if (injector_) {
+            const double extra =
+                injector_->extra_ber(fault::LinkKind::kAck, target, slot_);
+            if (extra > 0.0) {
+                p_ack = 1.0 - (1.0 - p_ack_corrupt_) *
+                                  std::pow(1.0 - extra,
+                                           static_cast<double>(config_.ack_bits));
+            }
+        }
+        if (data_rng_.next_bool(p_ack) ||
+            (injector_ &&
+             injector_->packet_lost(fault::LinkKind::kAck, target, slot_))) {
             ++stats_.ack_losses;
-            h.outstanding.push_back(OutstandingTransfer{packet, slot_});
+            h.outstanding.push_back(OutstandingTransfer{
+                packet, slot_, first_sent, retries, true});
         }
         // Ack received: transfer complete, nothing outstanding.
     }
 }
 
 void BulkChannelSim::step_scheduling() {
+    if (injector_ && injector_->scheduler_stalled(slot_)) {
+        // The switch core is stalled: no configs are processed, no
+        // grants issued. Pipeline commitments from earlier slots are
+        // untouched; hosts simply see a grantless slot.
+        ++counters_.stalled_cycles;
+        return;
+    }
     const std::size_t n = config_.hosts;
     sched::RequestMatrix requests(n);
     core::PrecalcSchedule precalc(n);
@@ -185,6 +349,12 @@ void BulkChannelSim::step_scheduling() {
     std::vector<std::optional<ConfigPacket>> decoded_cfgs(n);
     std::uint16_t ben_consensus = 0xFFFF;
     for (std::size_t h = 0; h < n; ++h) {
+        if (!host_up_[h]) {
+            // A crashed host sends nothing; the switch reports linkErr
+            // in the grant it would have returned.
+            switch_link_flag_[h] = true;
+            continue;
+        }
         ConfigPacket cfg;
         cfg.req = request_mask(hosts_[h]);
         cfg.pre = hosts_[h].multicast.empty()
@@ -192,7 +362,13 @@ void BulkChannelSim::step_scheduling() {
                       : hosts_[h].multicast.front().target_mask;
         cfg.ben = hosts_[h].ben_report;
         cfg.qen = 0xFFFF;
-        const auto wire = uplinks_[h].transmit(cfg.encode());
+        auto wire = uplinks_[h].transmit(cfg.encode());
+        if (injector_ &&
+            !injector_->transmit(fault::LinkKind::kUplink, h, slot_, wire)) {
+            ++stats_.configs_lost;
+            switch_link_flag_[h] = true;
+            continue;  // absorbed whole: the switch hears silence
+        }
         decoded_cfgs[h] = ConfigPacket::decode(wire);
         if (!decoded_cfgs[h]) {
             ++stats_.config_crc_errors;
@@ -210,6 +386,10 @@ void BulkChannelSim::step_scheduling() {
         if (fenced_mask_ & (1U << h)) continue;
         config_ok[h] = true;
         for (std::size_t j = 0; j < n; ++j) {
+            // Degraded-mode scheduling: crashed targets are masked out
+            // of the request matrix, so the crossbar never wastes a
+            // slot on a connection nobody can terminate.
+            if (!host_up_[j]) continue;
             if (decoded_cfgs[h]->req & (1U << j)) requests.set(h, j);
             if (decoded_cfgs[h]->pre & (1U << j)) precalc.claim(h, j);
         }
@@ -224,15 +404,23 @@ void BulkChannelSim::step_scheduling() {
     if (checker_) checker_->check_cycle(requests, schedule.unicast);
 
     for (std::size_t h = 0; h < n; ++h) {
+        if (!host_up_[h]) continue;  // nobody is listening for this grant
         GrantPacket gnt;
         gnt.node_id = static_cast<std::uint8_t>(h);
         const std::int32_t target = schedule.unicast.output_of(h);
         gnt.gnt_val = target != sched::kUnmatched;
         gnt.gnt = gnt.gnt_val ? static_cast<std::uint8_t>(target) : 0;
         gnt.crc_err = switch_crc_flag_[h];
+        gnt.link_err = switch_link_flag_[h];
         switch_crc_flag_[h] = false;
+        switch_link_flag_[h] = false;
 
-        const auto wire = downlinks_[h].transmit(gnt.encode());
+        auto wire = downlinks_[h].transmit(gnt.encode());
+        if (injector_ &&
+            !injector_->transmit(fault::LinkKind::kDownlink, h, slot_, wire)) {
+            ++stats_.grants_lost;
+            continue;  // host misses its grant; the slot goes unused
+        }
         const auto decoded = GrantPacket::decode(wire);
         if (!decoded) {
             ++stats_.grant_crc_errors;
@@ -261,6 +449,10 @@ void BulkChannelSim::step_scheduling() {
 }
 
 void BulkChannelSim::step() {
+    if (injector_) {
+        injector_->begin_slot(slot_);
+        apply_host_faults();
+    }
     last_acks_.clear();
     step_arrivals();
     step_timeouts();
@@ -284,6 +476,24 @@ std::size_t BulkChannelSim::buffered_total() const noexcept {
     return total;
 }
 
+BulkAccounting BulkChannelSim::accounting() const noexcept {
+    BulkAccounting a;
+    a.generated = stats_.generated;
+    a.delivered_unique = stats_.delivered_unique;
+    a.dropped = stats_.dropped_voq + stats_.crash_lost;
+    a.abandoned = stats_.abandoned;
+    for (const Host& h : hosts_) {
+        a.queued += h.voqs.total_buffered();
+        for (const auto& r : h.retransmit) {
+            if (!r.delivered) ++a.queued;
+        }
+        for (const auto& o : h.outstanding) {
+            if (!o.delivered) ++a.in_flight;
+        }
+    }
+    return a;
+}
+
 BulkChannelResult BulkChannelSim::run() {
     while (slot_ < config_.slots) step();
     return result();
@@ -297,8 +507,12 @@ BulkChannelResult BulkChannelSim::result() const {
                                               checker_->max_starvation_age());
         r.sched.paranoid_violations = checker_->violation_count();
     }
+    if (injector_) r.faults = injector_->counters();
     r.mean_delay = delay_.mean();
     r.max_delay = delay_.count() ? delay_.max() : 0.0;
+    r.p50_delay = delay_hist_.percentile(0.5);
+    r.p99_delay = delay_hist_.percentile(0.99);
+    r.mean_recovery_delay = recovery_delay_.mean();
     const std::uint64_t measured_slots =
         slot_ > config_.warmup_slots ? slot_ - config_.warmup_slots : 0;
     r.goodput = measured_slots == 0

@@ -10,24 +10,33 @@
 // The pipeline is fully overlapped: a new schedule is produced every
 // slot. All control packets are CRC-protected and travel over
 // bit-error-injecting links; the protocol recovers through the
-// CRCErr/linkErr grant flags, acknowledgment timeouts, retransmission,
-// and duplicate suppression at the targets — all of which this model
+// CRCErr/linkErr grant flags, acknowledgment timeouts, retransmission
+// with optional bounded exponential backoff, and sequence-number
+// duplicate suppression at the targets — all of which this model
 // implements and its statistics expose.
+//
+// A fault::FaultPlan in the config layers deterministic fault storms on
+// top: per-link bit-error epochs, whole-packet loss/truncation on the
+// control wires, link down intervals, host crash/restart schedules, and
+// scheduler stalls. With an empty plan the channel behaves
+// bit-identically to a build without the fault layer.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "clint/link.hpp"
 #include "clint/packets.hpp"
+#include "clint/seq_tracker.hpp"
 #include "core/lcf_central.hpp"
+#include "fault/fault_injector.hpp"
 #include "obs/paranoid_checker.hpp"
 #include "sim/voq.hpp"
 #include "traffic/traffic.hpp"
+#include "util/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace lcf::clint {
@@ -44,7 +53,20 @@ struct BulkChannelConfig {
     /// 1-(1-ber)^bits for this many bits (control packets are modelled
     /// bit-exactly through their real encodings).
     std::size_t payload_bits = 16384;
+    /// Nominal acknowledgment size; ack-loss probability is
+    /// 1-(1-ber)^bits for this many bits.
+    std::size_t ack_bits = 64;
     std::uint64_t ack_timeout = 4;  ///< slots before an unacked transfer retries
+    /// Retransmission attempts before a transfer is abandoned; 0 means
+    /// retry forever (the pre-fault-layer behavior).
+    std::size_t max_retries = 0;
+    /// Grow the retry timeout exponentially: attempt k waits
+    /// min(ack_timeout << k, backoff_cap) slots for its ack. Off by
+    /// default (every attempt waits ack_timeout).
+    bool exponential_backoff = false;
+    std::uint64_t backoff_cap = 64;  ///< ceiling for the backoff window
+    /// Deterministic fault schedule; empty() means no injector runs.
+    fault::FaultPlan fault_plan;
     /// Validate the scheduler's unicast matching every slot with an
     /// obs::ParanoidChecker (diagonal-fairness checking stays off:
     /// precalculated multicast claims may legitimately occupy an output
@@ -52,23 +74,55 @@ struct BulkChannelConfig {
     bool paranoid = false;
 };
 
+/// Exact conservation snapshot of a bulk-channel run. Every generated
+/// packet is in exactly one term on the right-hand side of
+///   generated = delivered_unique + queued + in_flight
+///             + dropped + abandoned
+/// at every slot boundary; balanced() checks the identity.
+struct BulkAccounting {
+    std::uint64_t generated = 0;
+    std::uint64_t delivered_unique = 0;
+    std::uint64_t queued = 0;     ///< undelivered, in VOQs or retransmit queues
+    std::uint64_t in_flight = 0;  ///< undelivered, awaiting acknowledgment
+    std::uint64_t dropped = 0;    ///< VOQ overflow + destroyed by host crashes
+    std::uint64_t abandoned = 0;  ///< gave up after max_retries, undelivered
+
+    [[nodiscard]] bool balanced() const noexcept {
+        return generated ==
+               delivered_unique + queued + in_flight + dropped + abandoned;
+    }
+};
+
 /// Measurements of one bulk-channel run.
 struct BulkChannelResult {
     double mean_delay = 0.0;  ///< generation -> delivery, slots (post warm-up)
     double max_delay = 0.0;
+    std::uint64_t p50_delay = 0;  ///< median first-delivery delay (post warm-up)
+    std::uint64_t p99_delay = 0;
     std::uint64_t generated = 0;
-    std::uint64_t delivered = 0;       ///< unique packets that reached a target
+    std::uint64_t delivered_unique = 0;  ///< first deliveries only
+    std::uint64_t duplicate_deliveries = 0;  ///< suppressed re-deliveries
     std::uint64_t dropped_voq = 0;     ///< arrivals lost to full VOQs
     std::uint64_t config_crc_errors = 0;  ///< configs the switch rejected
     std::uint64_t grant_crc_errors = 0;   ///< grants the hosts rejected
+    std::uint64_t configs_lost = 0;  ///< configs absorbed by the fault plan
+    std::uint64_t grants_lost = 0;   ///< grants absorbed by the fault plan
     std::uint64_t data_corruptions = 0;   ///< bulk packets lost in flight
     std::uint64_t ack_losses = 0;         ///< acknowledgments lost in flight
     std::uint64_t retransmissions = 0;
-    std::uint64_t duplicates = 0;  ///< retransmits of already-delivered packets
+    std::uint64_t abandoned = 0;   ///< undelivered, gave up after max_retries
+    std::uint64_t crash_lost = 0;  ///< undelivered, destroyed by host crashes
+    std::uint64_t recovered = 0;   ///< first deliveries that needed a retransmit
+    /// Mean slots from first transmission to eventual first delivery,
+    /// over recovered packets only.
+    double mean_recovery_delay = 0.0;
     std::uint64_t multicast_copies = 0;  ///< per-target precalc deliveries
+    std::uint64_t multicast_lost = 0;    ///< precalc copies lost to faults/crashes
     double goodput = 0.0;  ///< unique deliveries per host per post-warm-up slot
     /// Scheduler counters over the unicast matchings of every slot.
     obs::SchedCounters sched;
+    /// What the fault plan did (all zero when the plan is empty).
+    fault::FaultCounters faults;
 };
 
 /// Discrete-event simulation of the bulk channel.
@@ -111,6 +165,28 @@ public:
     /// multicasts. Supports conservation checks in the test suite.
     [[nodiscard]] std::size_t buffered_total() const noexcept;
 
+    /// Conservation snapshot as of the last slot boundary.
+    [[nodiscard]] BulkAccounting accounting() const noexcept;
+
+    /// True while `host` is inside a fault-plan crash interval.
+    [[nodiscard]] bool host_up(std::size_t host) const noexcept;
+
+    /// Fault injector (engaged iff the config's plan is non-empty).
+    [[nodiscard]] const std::optional<fault::FaultInjector>& fault_injector()
+        const noexcept {
+        return injector_;
+    }
+
+    /// Baseline per-transfer corruption probabilities implied by the
+    /// configured bit-error rate: 1-(1-ber)^payload_bits and
+    /// 1-(1-ber)^ack_bits. Exposed so tests can pin the formulas.
+    [[nodiscard]] double data_corrupt_probability() const noexcept {
+        return p_data_corrupt_;
+    }
+    [[nodiscard]] double ack_corrupt_probability() const noexcept {
+        return p_ack_corrupt_;
+    }
+
     /// Invariant checker (engaged iff config.paranoid).
     [[nodiscard]] const std::optional<obs::ParanoidChecker>& checker()
         const noexcept {
@@ -129,7 +205,16 @@ public:
 private:
     struct OutstandingTransfer {
         sim::Packet packet;
-        std::uint64_t sent_slot = 0;
+        std::uint64_t sent_slot = 0;   ///< most recent transmission
+        std::uint64_t first_sent = 0;  ///< first transmission (recovery delay)
+        std::uint32_t retries = 0;     ///< retransmissions so far
+        bool delivered = false;  ///< target already has it (its ack was lost)
+    };
+    struct PendingRetransmit {
+        sim::Packet packet;
+        std::uint64_t first_sent = 0;
+        std::uint32_t retries = 0;
+        bool delivered = false;
     };
     struct MulticastEntry {
         std::uint16_t target_mask = 0;
@@ -138,7 +223,7 @@ private:
     };
     struct Host {
         sim::VoqBank voqs;
-        std::deque<sim::Packet> retransmit;   // lost transfers awaiting regrant
+        std::deque<PendingRetransmit> retransmit;  // timed-out, awaiting regrant
         std::vector<OutstandingTransfer> outstanding;  // awaiting ack
         std::vector<std::size_t> committed;   // grants not yet transferred, per target
         std::deque<MulticastEntry> multicast;
@@ -148,12 +233,22 @@ private:
         std::uint16_t ben_report = 0xFFFF;  // bulk-enable mask this host sends
     };
 
+    [[nodiscard]] std::size_t flow_of(const sim::Packet& p) const noexcept {
+        return static_cast<std::size_t>(p.source) * config_.hosts +
+               p.destination;
+    }
+    [[nodiscard]] std::uint64_t retry_window(std::uint32_t retries)
+        const noexcept;
     [[nodiscard]] std::uint16_t request_mask(const Host& h) const;
+    void apply_host_faults();
+    void crash_host(std::size_t host);
     void step_arrivals();
     void step_timeouts();
     void step_transfers();
     void step_scheduling();
-    void deliver(const sim::Packet& p, std::size_t target);
+    /// Hand `p` to its target. Returns true on first delivery.
+    bool deliver(const sim::Packet& p, std::uint64_t first_sent,
+                 std::uint32_t retries);
 
     BulkChannelConfig config_;
     std::unique_ptr<traffic::TrafficGenerator> traffic_;
@@ -165,10 +260,17 @@ private:
     double p_data_corrupt_ = 0.0;
     double p_ack_corrupt_ = 0.0;
 
-    std::unordered_set<std::uint64_t> delivered_ids_;
+    SeqTracker seq_;
+    std::vector<std::uint64_t> next_flow_seq_;  // hosts * hosts
     std::vector<std::pair<std::size_t, std::size_t>> last_acks_;
     util::RunningStat delay_;
+    util::Histogram delay_hist_{4096};
+    util::RunningStat recovery_delay_;
     std::vector<bool> switch_crc_flag_;  // CRCErr to report per host
+    std::vector<bool> switch_link_flag_;  // linkErr to report per host
+
+    std::optional<fault::FaultInjector> injector_;
+    std::vector<bool> host_up_;  // as of the last apply_host_faults()
 
     std::optional<obs::ParanoidChecker> checker_;
     obs::SchedCounters counters_;

@@ -12,6 +12,7 @@ ClintResult run_clint(const ClintConfig& config) {
     bulk.warmup_slots = config.warmup_slots;
     bulk.seed = util::derive_seed(config.seed, 1);
     bulk.bit_error_rate = config.bit_error_rate;
+    bulk.fault_plan = config.bulk_faults;
 
     QuickChannelConfig quick;
     quick.hosts = config.hosts;
@@ -19,6 +20,7 @@ ClintResult run_clint(const ClintConfig& config) {
     quick.warmup_slots = config.warmup_slots;
     quick.seed = util::derive_seed(config.seed, 2);
     quick.bit_error_rate = config.bit_error_rate;
+    quick.fault_plan = config.quick_faults;
 
     ClintResult result;
     if (config.integrated) {

@@ -31,6 +31,11 @@ struct ClintConfig {
     /// channel"), where it preempts and collides with quick data. When
     /// false the channels run independently (ack bandwidth ignored).
     bool integrated = false;
+    /// Deterministic fault schedules, one per channel (the real system
+    /// has physically separate switches and links per channel, so a
+    /// fault on one never touches the other). Empty plans cost nothing.
+    fault::FaultPlan bulk_faults;
+    fault::FaultPlan quick_faults;
 };
 
 /// Combined results of both channels.

@@ -21,6 +21,10 @@ void append_crc(std::vector<std::uint8_t>& out) {
 }
 
 bool crc_ok(std::span<const std::uint8_t> wire) {
+    // A buffer too short to even hold the CRC field cannot check out;
+    // without this guard `wire.size() - 2` underflows and the subspan
+    // is UB. Truncation faults produce exactly such buffers.
+    if (wire.size() < 2) return false;
     const std::size_t body = wire.size() - 2;
     return crc16(wire.subspan(0, body)) == get_u16(wire, body);
 }

@@ -23,13 +23,51 @@ QuickChannelSim::QuickChannelSim(
         h.queue = sim::PacketQueue(config_.queue_capacity);
     }
     target_priority_.assign(config_.hosts, 0);
+    last_delivered_id_.assign(config_.hosts, kNoneDelivered);
+    host_up_.assign(config_.hosts, true);
+    if (!config_.fault_plan.empty()) {
+        injector_.emplace(config_.fault_plan);
+        injector_->reset(config_.hosts);
+    }
     p_data_corrupt_ =
         1.0 - std::pow(1.0 - config_.bit_error_rate,
                        static_cast<double>(config_.payload_bits));
-    p_ack_corrupt_ = 1.0 - std::pow(1.0 - config_.bit_error_rate, 64.0);
+    p_ack_corrupt_ =
+        1.0 - std::pow(1.0 - config_.bit_error_rate,
+                       static_cast<double>(config_.ack_bits));
+}
+
+void QuickChannelSim::crash_host(std::size_t host) {
+    Host& h = hosts_[host];
+    // The send queue and the stop-and-wait window die with the host;
+    // copies whose delivery already landed are complete, everything else
+    // is a crash loss. Pending bulk acknowledgments vanish too — their
+    // loss is the bulk channel's timeout problem.
+    stats_.crash_lost += h.queue.size();
+    h.queue.clear();
+    if (h.inflight) {
+        if (!h.inflight->delivered_once) ++stats_.crash_lost;
+        h.inflight.reset();
+    }
+    control_lost_ += h.control.size();
+    h.control.clear();
+    h.sending_control = false;
+}
+
+void QuickChannelSim::apply_host_faults() {
+    for (std::size_t h = 0; h < config_.hosts; ++h) {
+        const bool up = injector_->host_up(h, slot_);
+        if (host_up_[h] && !up) crash_host(h);
+        host_up_[h] = up;
+    }
 }
 
 void QuickChannelSim::step() {
+    if (injector_) {
+        injector_->begin_slot(slot_);
+        apply_host_faults();
+    }
+
     // Arrivals into the send queues.
     for (std::size_t h = 0; h < config_.hosts; ++h) {
         const std::int32_t dst = traffic_->arrival(h, slot_);
@@ -37,7 +75,10 @@ void QuickChannelSim::step() {
         ++stats_.generated;
         const sim::Packet p{next_packet_id_++, static_cast<std::uint32_t>(h),
                             static_cast<std::uint32_t>(dst), slot_};
-        delivered_flag_.push_back(false);
+        if (!host_up_[h]) {
+            ++stats_.crash_lost;  // offered to a dead protocol stack
+            continue;
+        }
         if (!hosts_[h].queue.push(p)) ++stats_.dropped_queue;
     }
 
@@ -50,6 +91,7 @@ void QuickChannelSim::step() {
     for (std::size_t h = 0; h < config_.hosts; ++h) {
         Host& host = hosts_[h];
         host.sending_control = false;
+        if (!host_up_[h]) continue;  // a crashed host transmits nothing
         if (!host.control.empty()) {
             host.sending_control = true;
             host.control_target = host.control.front();
@@ -67,7 +109,14 @@ void QuickChannelSim::step() {
             Outstanding& o = *host.inflight;
             if (o.awaiting_ack) continue;  // still inside the timeout window
             if (o.retries >= config_.max_retries) {
-                ++stats_.abandoned;
+                // Give up. A copy whose delivery already landed is not
+                // data loss — only its acks kept vanishing; the older
+                // accounting conflated the two.
+                if (o.delivered_once) {
+                    ++stats_.abandoned_delivered;
+                } else {
+                    ++stats_.abandoned;
+                }
                 host.inflight.reset();
             } else {
                 ++o.retries;
@@ -117,25 +166,71 @@ void QuickChannelSim::step() {
     // Delivery and acknowledgment for the winners.
     for (std::size_t j = 0; j < config_.hosts; ++j) {
         if (sender_of_target[j] == -1) continue;
-        Host& host = hosts_[static_cast<std::size_t>(sender_of_target[j])];
-        if (host.sending_control) continue;  // fire-and-forget ack delivered
+        const std::size_t src = static_cast<std::size_t>(sender_of_target[j]);
+        Host& host = hosts_[src];
+        if (host.sending_control) {
+            // Fire-and-forget ack: delivered unless a fault eats it.
+            if (injector_ &&
+                (!host_up_[j] ||
+                 injector_->packet_lost(fault::LinkKind::kData, src, slot_))) {
+                ++control_lost_;
+            }
+            continue;
+        }
         Outstanding& o = *host.inflight;
-        if (rng_.next_bool(p_data_corrupt_)) {
+        double p_data = p_data_corrupt_;
+        if (injector_) {
+            const double extra =
+                injector_->extra_ber(fault::LinkKind::kData, src, slot_);
+            if (extra > 0.0) {
+                p_data = 1.0 - (1.0 - p_data_corrupt_) *
+                                   std::pow(1.0 - extra,
+                                            static_cast<double>(
+                                                config_.payload_bits));
+            }
+        }
+        if (rng_.next_bool(p_data)) {
             ++stats_.corruptions;  // lost in flight; timeout will retry
             continue;
         }
+        if (injector_ &&
+            (!host_up_[j] ||
+             injector_->packet_lost(fault::LinkKind::kData, src, slot_))) {
+            ++stats_.fault_losses;  // absorbed in flight; timeout will retry
+            continue;
+        }
         const sim::Packet& p = o.packet;
-        if (!delivered_flag_[p.id]) {
-            delivered_flag_[p.id] = true;
-            ++stats_.delivered;
+        // Stop-and-wait per host + FIFO send queues: each source's
+        // packets arrive in increasing id order, so one remembered id
+        // per source suffices for duplicate suppression.
+        if (last_delivered_id_[src] == kNoneDelivered ||
+            p.id > last_delivered_id_[src]) {
+            last_delivered_id_[src] = p.id;
+            o.delivered_once = true;
+            ++stats_.delivered_unique;
             if (p.generated_slot >= config_.warmup_slots) {
                 delay_.add(static_cast<double>(slot_ + 1 - p.generated_slot));
             }
         } else {
-            ++stats_.duplicates;
+            ++stats_.duplicate_deliveries;
         }
-        if (rng_.next_bool(p_ack_corrupt_)) {
+        double p_ack = p_ack_corrupt_;
+        if (injector_) {
+            const double extra =
+                injector_->extra_ber(fault::LinkKind::kAck, j, slot_);
+            if (extra > 0.0) {
+                p_ack = 1.0 - (1.0 - p_ack_corrupt_) *
+                                  std::pow(1.0 - extra,
+                                           static_cast<double>(config_.ack_bits));
+            }
+        }
+        if (rng_.next_bool(p_ack)) {
             ++stats_.corruptions;  // ack lost; sender will retransmit
+            continue;
+        }
+        if (injector_ &&
+            injector_->packet_lost(fault::LinkKind::kAck, j, slot_)) {
+            ++stats_.fault_losses;  // ack absorbed; sender will retransmit
             continue;
         }
         host.inflight.reset();  // acknowledged
@@ -157,6 +252,19 @@ void QuickChannelSim::inject_control(std::size_t host, std::size_t target) {
     hosts_[host].control.push_back(target);
 }
 
+QuickAccounting QuickChannelSim::accounting() const noexcept {
+    QuickAccounting a;
+    a.generated = stats_.generated;
+    a.delivered_unique = stats_.delivered_unique;
+    a.dropped = stats_.dropped_queue + stats_.crash_lost;
+    a.abandoned = stats_.abandoned;
+    for (const Host& h : hosts_) {
+        a.queued += h.queue.size();
+        if (h.inflight && !h.inflight->delivered_once) ++a.in_flight;
+    }
+    return a;
+}
+
 QuickChannelResult QuickChannelSim::run() {
     while (slot_ < config_.slots) step();
     return result();
@@ -164,12 +272,13 @@ QuickChannelResult QuickChannelSim::run() {
 
 QuickChannelResult QuickChannelSim::result() const {
     QuickChannelResult r = stats_;
+    if (injector_) r.faults = injector_->counters();
     r.mean_delay = delay_.mean();
     r.max_delay = delay_.count() ? delay_.max() : 0.0;
-    r.delivery_ratio =
-        r.generated == 0
-            ? 0.0
-            : static_cast<double>(r.delivered) / static_cast<double>(r.generated);
+    r.delivery_ratio = r.generated == 0
+                           ? 0.0
+                           : static_cast<double>(r.delivered_unique) /
+                                 static_cast<double>(r.generated);
     return r;
 }
 

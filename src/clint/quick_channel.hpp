@@ -5,6 +5,12 @@
 // (rotating priority) and the others are dropped in the switch. Senders
 // run stop-and-wait: a missing acknowledgment triggers retransmission
 // after a timeout, up to a retry limit.
+//
+// A fault::FaultPlan in the config layers deterministic faults on top:
+// extra bit-error epochs and packet loss on the data/ack paths plus host
+// crash/restart schedules. (Scheduler stalls do not apply — the quick
+// channel is unscheduled.) With an empty plan the channel behaves
+// bit-identically to a build without the fault layer.
 
 #include <cstdint>
 #include <deque>
@@ -12,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "sim/packet_queue.hpp"
 #include "traffic/traffic.hpp"
 #include "util/rng.hpp"
@@ -28,8 +35,31 @@ struct QuickChannelConfig {
     std::uint64_t seed = 2;
     double bit_error_rate = 0.0;   ///< corrupts data and ack packets
     std::size_t payload_bits = 1024;  ///< nominal quick packet size
+    /// Nominal acknowledgment size; ack-loss probability is
+    /// 1-(1-ber)^bits for this many bits.
+    std::size_t ack_bits = 64;
     std::uint64_t ack_timeout = 2;  ///< slots without ack before retry
     std::size_t max_retries = 16;   ///< give up (and count) after this many
+    /// Deterministic fault schedule; empty() means no injector runs.
+    fault::FaultPlan fault_plan;
+};
+
+/// Exact conservation snapshot of a quick-channel run:
+///   generated = delivered_unique + queued + in_flight
+///             + dropped + abandoned
+/// at every slot boundary (dropped = queue overflow + crash losses).
+struct QuickAccounting {
+    std::uint64_t generated = 0;
+    std::uint64_t delivered_unique = 0;
+    std::uint64_t queued = 0;     ///< undelivered, in send queues
+    std::uint64_t in_flight = 0;  ///< undelivered, in stop-and-wait windows
+    std::uint64_t dropped = 0;    ///< queue overflow + destroyed by crashes
+    std::uint64_t abandoned = 0;  ///< gave up after max_retries, undelivered
+
+    [[nodiscard]] bool balanced() const noexcept {
+        return generated ==
+               delivered_unique + queued + in_flight + dropped + abandoned;
+    }
 };
 
 /// Measurements of one quick-channel run.
@@ -37,14 +67,22 @@ struct QuickChannelResult {
     double mean_delay = 0.0;  ///< generation -> first delivery, slots
     double max_delay = 0.0;
     std::uint64_t generated = 0;
-    std::uint64_t delivered = 0;      ///< unique packets delivered
+    std::uint64_t delivered_unique = 0;  ///< first deliveries only
+    std::uint64_t duplicate_deliveries = 0;  ///< re-deliveries after lost acks
     std::uint64_t dropped_queue = 0;  ///< arrivals lost to full send queues
     std::uint64_t collisions = 0;     ///< packets dropped in the switch
     std::uint64_t corruptions = 0;    ///< packets lost to bit errors
+    std::uint64_t fault_losses = 0;   ///< data/acks absorbed by the fault plan
     std::uint64_t retransmissions = 0;
-    std::uint64_t abandoned = 0;  ///< packets given up after max_retries
-    std::uint64_t duplicates = 0; ///< re-deliveries after lost acks
-    double delivery_ratio = 0.0;  ///< delivered / generated
+    std::uint64_t abandoned = 0;  ///< undelivered, gave up after max_retries
+    /// Copies given up after max_retries whose delivery already landed
+    /// (only the acks kept vanishing) — not data loss, and not part of
+    /// `abandoned`, which older code conflated with it.
+    std::uint64_t abandoned_delivered = 0;
+    std::uint64_t crash_lost = 0;  ///< undelivered, destroyed by host crashes
+    double delivery_ratio = 0.0;  ///< delivered_unique / generated
+    /// What the fault plan did (all zero when the plan is empty).
+    fault::FaultCounters faults;
 };
 
 /// Discrete-event simulation of the quick channel.
@@ -58,6 +96,25 @@ public:
 
     [[nodiscard]] std::uint64_t current_slot() const noexcept { return slot_; }
     [[nodiscard]] QuickChannelResult result() const;
+
+    /// Conservation snapshot as of the last slot boundary.
+    [[nodiscard]] QuickAccounting accounting() const noexcept;
+
+    /// Baseline per-packet corruption probabilities implied by the
+    /// configured bit-error rate: 1-(1-ber)^payload_bits and
+    /// 1-(1-ber)^ack_bits. Exposed so tests can pin the formulas.
+    [[nodiscard]] double data_corrupt_probability() const noexcept {
+        return p_data_corrupt_;
+    }
+    [[nodiscard]] double ack_corrupt_probability() const noexcept {
+        return p_ack_corrupt_;
+    }
+
+    /// Fault injector (engaged iff the config's plan is non-empty).
+    [[nodiscard]] const std::optional<fault::FaultInjector>& fault_injector()
+        const noexcept {
+        return injector_;
+    }
 
     /// Queue a control packet (a bulk acknowledgment, §4.1) at `host`
     /// destined for `target`. Control packets preempt the host's data
@@ -74,6 +131,10 @@ public:
     [[nodiscard]] std::uint64_t control_preemptions() const noexcept {
         return control_preemptions_;
     }
+    /// Control packets absorbed by faults (crashed targets, lost wires).
+    [[nodiscard]] std::uint64_t control_lost() const noexcept {
+        return control_lost_;
+    }
 
 private:
     struct Outstanding {
@@ -81,6 +142,7 @@ private:
         std::uint64_t sent_slot = 0;
         std::size_t retries = 0;
         bool awaiting_ack = false;  ///< sent this slot, ack pending
+        bool delivered_once = false;  ///< target has it; only acks were lost
     };
     struct Host {
         sim::PacketQueue queue;
@@ -90,6 +152,9 @@ private:
         std::size_t control_target = 0;
     };
 
+    void apply_host_faults();
+    void crash_host(std::size_t host);
+
     QuickChannelConfig config_;
     std::unique_ptr<traffic::TrafficGenerator> traffic_;
     std::vector<Host> hosts_;
@@ -98,13 +163,23 @@ private:
     double p_data_corrupt_ = 0.0;
     double p_ack_corrupt_ = 0.0;
 
-    std::vector<bool> delivered_flag_;  // dedupe by packet id (dense)
+    /// Duplicate suppression: the channel is stop-and-wait per host and
+    /// send queues are FIFO, so each source's packets arrive in strictly
+    /// increasing id order. One remembered id per source replaces the
+    /// per-packet dense flag vector, whose memory grew with every packet
+    /// ever generated. kNoneDelivered marks "nothing yet".
+    static constexpr std::uint64_t kNoneDelivered = ~std::uint64_t{0};
+    std::vector<std::uint64_t> last_delivered_id_;
     util::RunningStat delay_;
+
+    std::optional<fault::FaultInjector> injector_;
+    std::vector<bool> host_up_;  // as of the last apply_host_faults()
 
     std::uint64_t slot_ = 0;
     std::uint64_t next_packet_id_ = 0;
     std::uint64_t control_sent_ = 0;
     std::uint64_t control_preemptions_ = 0;
+    std::uint64_t control_lost_ = 0;
     QuickChannelResult stats_;
 };
 

@@ -1,0 +1,167 @@
+#include "fault/fault_injector.hpp"
+
+#include <cassert>
+
+#include "util/bitflip.hpp"
+
+namespace lcf::fault {
+
+namespace {
+
+constexpr bool in_interval(std::uint64_t slot, std::uint64_t begin,
+                           std::uint64_t end) noexcept {
+    return slot >= begin && slot < end;
+}
+
+}  // namespace
+
+void FaultCounters::merge(const FaultCounters& other) noexcept {
+    packets_dropped += other.packets_dropped;
+    packets_truncated += other.packets_truncated;
+    packets_corrupted += other.packets_corrupted;
+    bits_flipped += other.bits_flipped;
+    crashes += other.crashes;
+    restarts += other.restarts;
+    stalled_slots += other.stalled_slots;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+    plan_.validate();
+}
+
+void FaultInjector::reset(std::size_t hosts) {
+    hosts_ = hosts;
+    rngs_.clear();
+    rngs_.reserve(kLinkKinds * hosts);
+    for (std::size_t kind = 0; kind < kLinkKinds; ++kind) {
+        for (std::size_t index = 0; index < hosts; ++index) {
+            rngs_.emplace_back(
+                util::derive_seed(plan_.seed, kind * 4096 + index));
+        }
+    }
+    counters_ = FaultCounters{};
+}
+
+util::Xoshiro256& FaultInjector::rng_for(LinkKind kind,
+                                         std::size_t index) noexcept {
+    assert(index < hosts_);
+    return rngs_[static_cast<std::size_t>(kind) * hosts_ + index];
+}
+
+void FaultInjector::begin_slot(std::uint64_t slot) {
+    for (const auto& c : plan_.host_crashes) {
+        if (c.crash_slot == slot) ++counters_.crashes;
+        if (c.restart_slot == slot && c.restart_slot != kForever) {
+            ++counters_.restarts;
+        }
+    }
+    if (scheduler_stalled(slot)) ++counters_.stalled_slots;
+}
+
+bool FaultInjector::host_up(std::size_t host,
+                            std::uint64_t slot) const noexcept {
+    for (const auto& c : plan_.host_crashes) {
+        if (c.host == host && in_interval(slot, c.crash_slot, c.restart_slot)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool FaultInjector::link_up(LinkKind kind, std::size_t index,
+                            std::uint64_t slot) const noexcept {
+    for (const auto& d : plan_.link_down_intervals) {
+        if (d.link.matches(kind, index) && in_interval(slot, d.begin, d.end)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool FaultInjector::scheduler_stalled(std::uint64_t slot) const noexcept {
+    for (const auto& s : plan_.scheduler_stalls) {
+        if (in_interval(slot, s.begin, s.end)) return true;
+    }
+    return false;
+}
+
+double FaultInjector::extra_ber(LinkKind kind, std::size_t index,
+                                std::uint64_t slot) const noexcept {
+    double keep = 1.0;
+    for (const auto& e : plan_.bit_error_epochs) {
+        if (e.link.matches(kind, index) && in_interval(slot, e.begin, e.end)) {
+            keep *= 1.0 - e.bit_error_rate;
+        }
+    }
+    return 1.0 - keep;
+}
+
+double FaultInjector::loss_probability(LinkKind kind, std::size_t index,
+                                       std::uint64_t slot) const noexcept {
+    double keep = 1.0;
+    for (const auto& e : plan_.packet_loss_epochs) {
+        if (e.link.matches(kind, index) && in_interval(slot, e.begin, e.end)) {
+            keep *= 1.0 - e.loss;
+        }
+    }
+    return 1.0 - keep;
+}
+
+double FaultInjector::truncation_probability(
+    LinkKind kind, std::size_t index, std::uint64_t slot) const noexcept {
+    double keep = 1.0;
+    for (const auto& e : plan_.packet_loss_epochs) {
+        if (e.link.matches(kind, index) && in_interval(slot, e.begin, e.end)) {
+            keep *= 1.0 - e.truncation;
+        }
+    }
+    return 1.0 - keep;
+}
+
+bool FaultInjector::transmit(LinkKind kind, std::size_t index,
+                             std::uint64_t slot,
+                             std::vector<std::uint8_t>& wire) {
+    if (!link_up(kind, index, slot)) {
+        ++counters_.packets_dropped;
+        return false;
+    }
+    const double p_loss = loss_probability(kind, index, slot);
+    if (p_loss > 0.0 && rng_for(kind, index).next_bool(p_loss)) {
+        ++counters_.packets_dropped;
+        return false;
+    }
+    const double p_trunc = truncation_probability(kind, index, slot);
+    if (p_trunc > 0.0 && !wire.empty() &&
+        rng_for(kind, index).next_bool(p_trunc)) {
+        // Cut to a strictly shorter length, possibly zero bytes.
+        wire.resize(rng_for(kind, index).next_below(wire.size()));
+        ++counters_.packets_truncated;
+    }
+    const double ber = extra_ber(kind, index, slot);
+    if (ber > 0.0 && !wire.empty()) {
+        const std::uint64_t flips =
+            util::flip_bits({wire.data(), wire.size()}, ber,
+                            rng_for(kind, index));
+        if (flips > 0) {
+            counters_.bits_flipped += flips;
+            ++counters_.packets_corrupted;
+        }
+    }
+    return true;
+}
+
+bool FaultInjector::packet_lost(LinkKind kind, std::size_t index,
+                                std::uint64_t slot) {
+    if (!link_up(kind, index, slot)) {
+        ++counters_.packets_dropped;
+        return true;
+    }
+    const double p_loss = loss_probability(kind, index, slot);
+    if (p_loss > 0.0 && rng_for(kind, index).next_bool(p_loss)) {
+        ++counters_.packets_dropped;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace lcf::fault

@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic execution of a FaultPlan. One FaultInjector accompanies
+// one simulated channel/switch; the channel routes every wire through
+// transmit() (which wraps the channel's own ErrorLink transforms with
+// the plan's epoch faults) and consults the host/scheduler predicates
+// each slot. All randomness comes from per-link RNG streams derived
+// from the plan's seed, so fault realisations are independent of the
+// simulation's traffic and baseline-error draws — adding a fault plan
+// never perturbs what the underlying run would have done, and the same
+// plan replays bit-identically.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace lcf::fault {
+
+/// Everything the injector did to a run. Plain sums, mergeable across
+/// runs/threads like obs::SchedCounters.
+struct FaultCounters {
+    std::uint64_t packets_dropped = 0;    ///< absorbed whole (loss or link down)
+    std::uint64_t packets_truncated = 0;  ///< cut short in flight
+    std::uint64_t packets_corrupted = 0;  ///< suffered >= 1 epoch bit flip
+    std::uint64_t bits_flipped = 0;       ///< epoch-injected flips
+    std::uint64_t crashes = 0;            ///< host crash transitions
+    std::uint64_t restarts = 0;           ///< host restart transitions
+    std::uint64_t stalled_slots = 0;      ///< scheduler-stall slots observed
+
+    void merge(const FaultCounters& other) noexcept;
+    friend bool operator==(const FaultCounters&,
+                           const FaultCounters&) = default;
+};
+
+/// Executes one FaultPlan against one simulated channel. Deterministic:
+/// queries draw from per-link Xoshiro256 streams seeded from the plan.
+class FaultInjector {
+public:
+    /// Validates the plan (throws std::invalid_argument when malformed).
+    explicit FaultInjector(FaultPlan plan);
+
+    /// Prepare for a run over `hosts` hosts/ports: derives one RNG
+    /// stream per (link kind, index) and forgets all counters.
+    void reset(std::size_t hosts);
+
+    /// Per-slot bookkeeping: counts crash/restart transitions occurring
+    /// at `slot` and scheduler-stall slots, exactly once each. Call once
+    /// per simulated slot, in slot order.
+    void begin_slot(std::uint64_t slot);
+
+    /// False while `host` is inside a crash interval.
+    [[nodiscard]] bool host_up(std::size_t host,
+                               std::uint64_t slot) const noexcept;
+    /// False while the link is inside a down interval.
+    [[nodiscard]] bool link_up(LinkKind kind, std::size_t index,
+                               std::uint64_t slot) const noexcept;
+    /// True while `slot` falls in a scheduler-stall interval.
+    [[nodiscard]] bool scheduler_stalled(std::uint64_t slot) const noexcept;
+    /// Additional bit-error probability active on the link at `slot`
+    /// (independent epochs compose: 1 - prod(1 - ber_k)).
+    [[nodiscard]] double extra_ber(LinkKind kind, std::size_t index,
+                                   std::uint64_t slot) const noexcept;
+
+    /// Wire path: apply the plan's faults for this link and slot to
+    /// `wire` in place. Returns false when the packet is absorbed whole
+    /// (link down or a loss draw); otherwise the packet may have been
+    /// truncated and/or had epoch bit errors applied.
+    bool transmit(LinkKind kind, std::size_t index, std::uint64_t slot,
+                  std::vector<std::uint8_t>& wire);
+
+    /// Abstract path, for payloads modelled by nominal size without
+    /// materialised bytes: link-down check plus a whole-packet loss
+    /// draw. True when the packet is lost. (Epoch bit errors on
+    /// abstract paths are folded into the channel's own corruption
+    /// probability via extra_ber().)
+    bool packet_lost(LinkKind kind, std::size_t index, std::uint64_t slot);
+
+    [[nodiscard]] const FaultCounters& counters() const noexcept {
+        return counters_;
+    }
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+    [[nodiscard]] std::size_t hosts() const noexcept { return hosts_; }
+
+private:
+    [[nodiscard]] util::Xoshiro256& rng_for(LinkKind kind,
+                                            std::size_t index) noexcept;
+    /// Combined loss / truncation probabilities on a link at `slot`.
+    [[nodiscard]] double loss_probability(LinkKind kind, std::size_t index,
+                                          std::uint64_t slot) const noexcept;
+    [[nodiscard]] double truncation_probability(
+        LinkKind kind, std::size_t index, std::uint64_t slot) const noexcept;
+
+    FaultPlan plan_;
+    std::size_t hosts_ = 0;
+    std::vector<util::Xoshiro256> rngs_;  // kLinkKinds * hosts_
+    FaultCounters counters_;
+};
+
+}  // namespace lcf::fault

@@ -1,0 +1,82 @@
+#include "fault/fault_plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace lcf::fault {
+
+namespace {
+
+void check_interval(std::uint64_t begin, std::uint64_t end,
+                    const char* what) {
+    if (end < begin) {
+        throw std::invalid_argument(std::string(what) +
+                                    ": interval end precedes begin");
+    }
+}
+
+void check_probability(double p, const char* what) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+        throw std::invalid_argument(std::string(what) +
+                                    ": probability outside [0, 1]");
+    }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+    for (const auto& e : bit_error_epochs) {
+        check_interval(e.begin, e.end, "bit_error_epoch");
+        check_probability(e.bit_error_rate, "bit_error_epoch");
+    }
+    for (const auto& e : packet_loss_epochs) {
+        check_interval(e.begin, e.end, "packet_loss_epoch");
+        check_probability(e.loss, "packet_loss_epoch.loss");
+        check_probability(e.truncation, "packet_loss_epoch.truncation");
+    }
+    for (const auto& e : link_down_intervals) {
+        check_interval(e.begin, e.end, "link_down_interval");
+    }
+    for (const auto& c : host_crashes) {
+        check_interval(c.crash_slot, c.restart_slot, "host_crash");
+    }
+    for (const auto& s : scheduler_stalls) {
+        check_interval(s.begin, s.end, "scheduler_stall");
+    }
+}
+
+FaultPlan& FaultPlan::add_bit_error_epoch(LinkSelector link,
+                                          std::uint64_t begin,
+                                          std::uint64_t end, double ber) {
+    bit_error_epochs.push_back(BitErrorEpoch{link, begin, end, ber});
+    return *this;
+}
+
+FaultPlan& FaultPlan::add_packet_loss(LinkSelector link, std::uint64_t begin,
+                                      std::uint64_t end, double loss,
+                                      double truncation) {
+    packet_loss_epochs.push_back(
+        PacketLossEpoch{link, begin, end, loss, truncation});
+    return *this;
+}
+
+FaultPlan& FaultPlan::add_link_down(LinkSelector link, std::uint64_t begin,
+                                    std::uint64_t end) {
+    link_down_intervals.push_back(LinkDownInterval{link, begin, end});
+    return *this;
+}
+
+FaultPlan& FaultPlan::add_host_crash(std::size_t host,
+                                     std::uint64_t crash_slot,
+                                     std::uint64_t restart_slot) {
+    host_crashes.push_back(HostCrash{host, crash_slot, restart_slot});
+    return *this;
+}
+
+FaultPlan& FaultPlan::add_scheduler_stall(std::uint64_t begin,
+                                          std::uint64_t end) {
+    scheduler_stalls.push_back(SchedulerStall{begin, end});
+    return *this;
+}
+
+}  // namespace lcf::fault

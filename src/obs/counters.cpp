@@ -21,6 +21,7 @@ void SchedCounters::merge(const SchedCounters& other) noexcept {
     max_matching = std::max(max_matching, other.max_matching);
     max_starvation_age = std::max(max_starvation_age, other.max_starvation_age);
     paranoid_violations += other.paranoid_violations;
+    stalled_cycles += other.stalled_cycles;
 }
 
 double SchedCounters::mean_matching() const noexcept {

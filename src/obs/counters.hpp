@@ -25,6 +25,10 @@ struct SchedCounters {
     /// Invariant violations found by the ParanoidChecker (0 unless
     /// paranoid mode ran with throwing disabled).
     std::uint64_t paranoid_violations = 0;
+    /// Cycles in which the scheduler was forcibly stalled by a fault
+    /// plan (fault::SchedulerStall) and produced no matching. These
+    /// cycles are not part of `cycles`: no scheduling ran.
+    std::uint64_t stalled_cycles = 0;
 
     /// Fold one scheduling cycle into the counters.
     void observe_cycle(std::uint64_t request_bits,

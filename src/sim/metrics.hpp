@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "obs/counters.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
@@ -87,6 +88,8 @@ struct SimResult {
     /// when tracing or paranoid mode observed the run). Mergeable across
     /// the sweep's worker threads via obs::SchedCounters::merge.
     obs::SchedCounters sched;
+    /// What the configured fault plan did (all zero when it was empty).
+    fault::FaultCounters faults;
 
     /// Service count of flow [input, output] (0 when not recorded).
     [[nodiscard]] std::uint64_t service_of(std::size_t input,

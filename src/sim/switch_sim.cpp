@@ -67,6 +67,11 @@ SwitchSim::SwitchSim(const SimConfig& config,
             checker_->reset(config_.ports, config_.ports);
         }
     }
+    port_up_.assign(config_.ports, true);
+    if (!config_.fault_plan.empty()) {
+        injector_.emplace(config_.fault_plan);
+        injector_->reset(config_.ports);
+    }
     if (config_.clos_middle > 0) {
         if (config_.clos_group == 0 ||
             config_.ports % config_.clos_group != 0) {
@@ -115,6 +120,12 @@ void SwitchSim::step_arrivals() {
         const std::int32_t dst = traffic_->arrival(i, slot_);
         if (dst == traffic::kNoArrival) continue;
         metrics_.on_generated();
+        if (!port_up_[i]) {
+            // A crashed host offers the packet into the void.
+            metrics_.on_dropped();
+            ++next_packet_id_;
+            continue;
+        }
         const Packet p{next_packet_id_++, static_cast<std::uint32_t>(i),
                        static_cast<std::uint32_t>(dst), slot_};
         bool accepted = false;
@@ -147,12 +158,22 @@ void SwitchSim::step_voq_mode() {
         }
     }
 
-    for (std::size_t phase = 0; phase < config_.speedup; ++phase) {
+    // A fault-plan stall freezes the switch core for the slot: no
+    // scheduling phases run and no matching is produced. Buffered
+    // packets stay put; only the output links (speedup drain below)
+    // keep moving.
+    const bool stalled = injector_ && injector_->scheduler_stalled(slot_);
+    if (stalled) {
+        ++counters_.stalled_cycles;
+        matching_.reset(config_.ports, config_.ports);
+    }
+    for (std::size_t phase = 0; !stalled && phase < config_.speedup; ++phase) {
         // Request matrix from VOQ occupancy: a word copy of each bank's
         // incrementally maintained occupancy vector.
         for (std::size_t i = 0; i < config_.ports; ++i) {
             requests_.row(i) = voqs_[i].occupancy();
         }
+        if (injector_) mask_down_ports();
 
         if (phase == 0 && slot_ >= config_.warmup_slots) {
             // "Choices" diagnostic: mean non-empty VOQs per input.
@@ -208,7 +229,29 @@ void SwitchSim::step_voq_mode() {
     }
 }
 
+void SwitchSim::mask_down_ports() {
+    // Degraded-mode scheduling: crashed ports vanish from the request
+    // matrix — their rows (as initiators) and their columns (as targets)
+    // — so the scheduler matches only the surviving ports and never
+    // wastes a grant on a connection nobody can terminate.
+    for (std::size_t i = 0; i < config_.ports; ++i) {
+        if (!port_up_[i]) {
+            requests_.row(i).clear();
+            continue;
+        }
+        for (std::size_t j = 0; j < config_.ports; ++j) {
+            if (!port_up_[j]) requests_.set(i, j, false);
+        }
+    }
+}
+
 void SwitchSim::step_fifo_mode() {
+    const bool stalled = injector_ && injector_->scheduler_stalled(slot_);
+    if (stalled) {
+        ++counters_.stalled_cycles;
+        matching_.reset(config_.ports, config_.ports);
+        return;
+    }
     // Head-of-line requests: each input requests exactly the destination
     // of its FIFO head.
     requests_.clear();
@@ -217,6 +260,7 @@ void SwitchSim::step_fifo_mode() {
             requests_.set(i, input_queues_[i].front().destination);
         }
     }
+    if (injector_) mask_down_ports();
 
     scheduler_->schedule(requests_, matching_);
     assert(matching_.valid_for(requests_));
@@ -244,6 +288,12 @@ void SwitchSim::step_outbuf_mode() {
 }
 
 void SwitchSim::step() {
+    if (injector_) {
+        injector_->begin_slot(slot_);
+        for (std::size_t i = 0; i < config_.ports; ++i) {
+            port_up_[i] = injector_->host_up(i, slot_);
+        }
+    }
     step_arrivals();
     switch (config_.mode) {
         case SwitchMode::kVoq:
@@ -281,6 +331,7 @@ SimResult SwitchSim::result() const {
                        : 0.0;
     r.ports = config_.ports;
     r.sched = counters_;
+    if (injector_) r.faults = injector_->counters();
     if (trace_) {
         r.sched.max_starvation_age = std::max(
             r.sched.max_starvation_age, trace_->ages().high_watermark());

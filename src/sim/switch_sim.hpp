@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fabric/clos.hpp"
+#include "fault/fault_injector.hpp"
 #include "obs/paranoid_checker.hpp"
 #include "obs/sched_trace.hpp"
 #include "sched/scheduler.hpp"
@@ -82,6 +83,16 @@ struct SimConfig {
     /// `trace_capacity` scheduling cycles, accessible via
     /// SwitchSim::trace() and exportable as CSV/JSONL.
     std::size_t trace_capacity = 0;
+
+    /// Deterministic fault schedule (empty() = no injector runs).
+    /// Interpretation in this model: a crashed host's port neither
+    /// offers arrivals (they count generated + dropped) nor takes part
+    /// in scheduling — its request row and its column are masked out of
+    /// the request matrix, so matchings degrade to the surviving ports.
+    /// Scheduler-stall slots produce no matching at all (counted in
+    /// SchedCounters::stalled_cycles); packets the switch already
+    /// buffered stay buffered and flow on once the fault clears.
+    fault::FaultPlan fault_plan;
 };
 
 /// One switch simulation. Construct, then either run() to completion or
@@ -136,9 +147,16 @@ public:
     [[nodiscard]] const obs::SchedCounters& sched_counters() const noexcept {
         return counters_;
     }
+    /// Fault injector (engaged iff the config's plan is non-empty).
+    [[nodiscard]] const std::optional<fault::FaultInjector>& fault_injector()
+        const noexcept {
+        return injector_;
+    }
 
 private:
     void step_arrivals();
+    /// Clear request rows/columns of crashed ports (injector engaged).
+    void mask_down_ports();
     void step_voq_mode();
     void step_fifo_mode();
     void step_outbuf_mode();
@@ -171,6 +189,9 @@ private:
     std::optional<obs::SchedTrace> trace_;
     std::optional<obs::ParanoidChecker> checker_;
     obs::SchedCounters counters_;
+
+    std::optional<fault::FaultInjector> injector_;
+    std::vector<bool> port_up_;  // refreshed at the top of every step
 
     std::optional<fabric::ClosNetwork> clos_;
     std::uint64_t fabric_blocked_ = 0;

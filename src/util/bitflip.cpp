@@ -1,0 +1,36 @@
+#include "util/bitflip.hpp"
+
+#include <cmath>
+
+namespace lcf::util {
+
+std::uint64_t flip_bits(std::span<std::uint8_t> bytes, double p,
+                        Xoshiro256& rng) noexcept {
+    if (bytes.empty() || p <= 0.0) return 0;
+    const std::uint64_t total_bits =
+        static_cast<std::uint64_t>(bytes.size()) * 8;
+    if (p >= 1.0) {
+        for (auto& byte : bytes) byte = static_cast<std::uint8_t>(~byte);
+        return total_bits;
+    }
+    // Geometric skip sampling: the gap G >= 0 to the next flipped bit
+    // satisfies P(G = k) = (1-p)^k p, i.e. G = floor(ln(1-U) / ln(1-p))
+    // for U uniform in [0, 1). Each draw advances past exactly one flip.
+    const double denom = std::log1p(-p);  // ln(1-p) < 0
+    std::uint64_t flips = 0;
+    std::uint64_t bit = 0;
+    while (true) {
+        const double gap = std::floor(std::log1p(-rng.next_double()) / denom);
+        // A huge gap (or the +inf from U == 0 being impossible but the
+        // division underflowing) means no further flip in this buffer.
+        if (gap >= static_cast<double>(total_bits - bit)) break;
+        bit += static_cast<std::uint64_t>(gap);
+        bytes[bit >> 3] =
+            static_cast<std::uint8_t>(bytes[bit >> 3] ^ (1U << (bit & 7)));
+        ++flips;
+        if (++bit >= total_bits) break;
+    }
+    return flips;
+}
+
+}  // namespace lcf::util

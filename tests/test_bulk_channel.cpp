@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "traffic/bernoulli.hpp"
 #include "traffic/trace.hpp"
 
@@ -31,12 +33,12 @@ TEST(BulkChannel, CleanLinksDeliverEverythingEventually) {
     EXPECT_EQ(r.dropped_voq, 0u);
     // Everything generated is delivered except the handful still queued
     // or in flight at the end.
-    EXPECT_GE(r.delivered + 4 * 4 + 8, r.generated);
+    EXPECT_GE(r.delivered_unique + 4 * 4 + 8, r.generated);
     EXPECT_EQ(r.config_crc_errors, 0u);
     EXPECT_EQ(r.grant_crc_errors, 0u);
     EXPECT_EQ(r.data_corruptions, 0u);
     EXPECT_EQ(r.retransmissions, 0u);
-    EXPECT_EQ(r.duplicates, 0u);
+    EXPECT_EQ(r.duplicate_deliveries, 0u);
 }
 
 TEST(BulkChannel, PipelineLatencyFloorIsTwoSlots) {
@@ -50,7 +52,7 @@ TEST(BulkChannel, PipelineLatencyFloorIsTwoSlots) {
     BulkChannelSim sim(c, std::make_unique<traffic::TraceTraffic>(
                               std::vector<traffic::TraceEntry>{{5, 1, 2}}));
     const auto r = sim.run();
-    EXPECT_EQ(r.delivered, 1u);
+    EXPECT_EQ(r.delivered_unique, 1u);
     EXPECT_DOUBLE_EQ(r.mean_delay, 2.0);
 }
 
@@ -75,7 +77,7 @@ TEST(BulkChannel, ErrorInjectionTriggersRecoveryMachinery) {
     EXPECT_GT(r.data_corruptions, 0u);
     EXPECT_GT(r.retransmissions, 0u);
     // ...and retransmission still delivers the vast majority of traffic.
-    EXPECT_GT(r.delivered, r.generated * 9 / 10);
+    EXPECT_GT(r.delivered_unique, r.generated * 9 / 10);
 }
 
 TEST(BulkChannel, LostTransfersAreRetransmittedNotLost) {
@@ -87,7 +89,7 @@ TEST(BulkChannel, LostTransfersAreRetransmittedNotLost) {
                        std::make_unique<traffic::BernoulliUniform>(0.2));
     const auto r = sim.run();
     EXPECT_GT(r.retransmissions, 0u);
-    EXPECT_GE(r.delivered + 200, r.generated - r.dropped_voq);
+    EXPECT_GE(r.delivered_unique + 200, r.generated - r.dropped_voq);
 }
 
 TEST(BulkChannel, MulticastFanOutDeliversToAllTargets) {
@@ -112,7 +114,7 @@ TEST(BulkChannel, MulticastCoexistsWithUnicastTraffic) {
     }
     const auto r = sim.run();
     EXPECT_EQ(r.multicast_copies, 100u);  // 50 multicasts × 2 targets
-    EXPECT_GT(r.delivered, 0u);
+    EXPECT_GT(r.delivered_unique, 0u);
 }
 
 TEST(BulkChannel, SaturatedChannelStillMakesProgress) {
@@ -134,7 +136,7 @@ TEST(BulkChannel, PacketConservationOnCleanLinks) {
                        std::make_unique<traffic::BernoulliUniform>(0.9));
     while (sim.current_slot() < config.slots) sim.step();
     const auto r = sim.result();
-    EXPECT_EQ(r.generated, r.delivered + r.dropped_voq + sim.buffered_total());
+    EXPECT_EQ(r.generated, r.delivered_unique + r.dropped_voq + sim.buffered_total());
 }
 
 TEST(BulkChannel, BufferedTotalDrainsWhenTrafficStops) {
@@ -152,7 +154,7 @@ TEST(BulkChannel, BufferedTotalDrainsWhenTrafficStops) {
     BulkChannelSim sim(c, std::make_unique<traffic::TraceTraffic>(entries));
     sim.run();
     EXPECT_EQ(sim.buffered_total(), 0u);
-    EXPECT_EQ(sim.result().delivered, entries.size());
+    EXPECT_EQ(sim.result().delivered_unique, entries.size());
 }
 
 TEST(BulkChannel, BenFieldFencesAMalfunctioningHost) {
@@ -171,8 +173,8 @@ TEST(BulkChannel, BenFieldFencesAMalfunctioningHost) {
     EXPECT_EQ(sim.fenced_mask() & 0xF, 1U << 2);
     // Host 2's packets pile up unscheduled: the channel delivers
     // roughly 3/4 of the generated traffic.
-    EXPECT_LT(r.delivered, r.generated * 8 / 9);
-    EXPECT_GT(r.delivered, r.generated / 2);
+    EXPECT_LT(r.delivered_unique, r.generated * 8 / 9);
+    EXPECT_GT(r.delivered_unique, r.generated / 2);
     // The fenced host's VOQs retain its backlog.
     EXPECT_GT(sim.buffered_total(), 150u);
 }
@@ -191,7 +193,75 @@ TEST(BulkChannel, ReenablingAHostRestoresService) {
     while (sim.current_slot() < 400) sim.step();
     EXPECT_EQ(sim.fenced_mask() & 0xF, 0u);
     // After re-enabling, host 3's backlog drains: deliveries jump.
-    EXPECT_GT(sim.result().delivered, mid.delivered + 40);
+    EXPECT_GT(sim.result().delivered_unique, mid.delivered_unique + 40);
+}
+
+// Regression for the ack-loss double-delivery accounting bug: when an
+// acknowledgment is lost, the target already holds the packet, yet the
+// sender retransmits it. The re-delivery must land in
+// duplicate_deliveries — never in delivered_unique — and the delivered
+// copy waiting in the retransmission machinery must not double-count in
+// the conservation identity.
+TEST(BulkChannel, LostAcksProduceDuplicatesNotDoubleDeliveries) {
+    auto config = small_config();
+    config.seed = 11;
+    config.slots = 6000;
+    config.bit_error_rate = 2e-5;
+    config.ack_bits = 16384;  // ack as fragile as the payload: many losses
+    BulkChannelSim sim(config,
+                       std::make_unique<traffic::BernoulliUniform>(0.3));
+    const auto r = sim.run();
+    EXPECT_GT(r.ack_losses, 0u);
+    EXPECT_GT(r.duplicate_deliveries, 0u);
+    EXPECT_LE(r.delivered_unique, r.generated);
+    // First-delivery latency stats must cover exactly the unique
+    // deliveries made after warm-up, not the duplicates.
+    EXPECT_GT(r.recovered, 0u);
+    EXPECT_GT(r.mean_recovery_delay, 0.0);
+    const auto a = sim.accounting();
+    EXPECT_TRUE(a.balanced())
+        << "generated " << a.generated << " != delivered "
+        << a.delivered_unique << " + queued " << a.queued << " + in_flight "
+        << a.in_flight << " + dropped " << a.dropped << " + abandoned "
+        << a.abandoned;
+}
+
+TEST(BulkChannel, AckCorruptProbabilityFollowsConfiguredAckBits) {
+    for (const std::size_t ack_bits : {std::size_t{64}, std::size_t{512}}) {
+        auto config = small_config();
+        config.bit_error_rate = 1e-4;
+        config.ack_bits = ack_bits;
+        BulkChannelSim sim(config,
+                           std::make_unique<traffic::BernoulliUniform>(0.1));
+        EXPECT_DOUBLE_EQ(sim.ack_corrupt_probability(),
+                         1.0 - std::pow(1.0 - config.bit_error_rate,
+                                        static_cast<double>(ack_bits)));
+    }
+}
+
+// Bounded exponential backoff with a retry cap: hopeless transfers are
+// abandoned instead of being re-granted forever, and the abandonment is
+// visible in both the stats and the conservation identity.
+TEST(BulkChannel, RetryCapAbandonsAndBackoffStaysBounded) {
+    BulkChannelConfig c;
+    c.hosts = 4;
+    c.slots = 5000;
+    c.warmup_slots = 0;
+    c.seed = 3;
+    c.bit_error_rate = 1e-4;  // ~80% payload loss: retries mostly fail
+    c.max_retries = 2;
+    c.exponential_backoff = true;
+    c.backoff_cap = 16;
+    BulkChannelSim sim(c, std::make_unique<traffic::BernoulliUniform>(0.2));
+    const auto r = sim.run();
+    EXPECT_GT(r.abandoned, 0u);
+    EXPECT_GT(r.retransmissions, 0u);
+    const auto a = sim.accounting();
+    EXPECT_TRUE(a.balanced())
+        << "generated " << a.generated << " != delivered "
+        << a.delivered_unique << " + queued " << a.queued << " + in_flight "
+        << a.in_flight << " + dropped " << a.dropped << " + abandoned "
+        << a.abandoned;
 }
 
 TEST(BulkChannel, ParanoidRunIsCleanAndCountersPopulate) {
@@ -202,7 +272,7 @@ TEST(BulkChannel, ParanoidRunIsCleanAndCountersPopulate) {
     // checked unicast matchings.
     sim.enqueue_multicast(0, 0b1100);
     const auto r = sim.run();
-    EXPECT_GT(r.delivered, 0u);
+    EXPECT_GT(r.delivered_unique, 0u);
     EXPECT_EQ(r.sched.cycles, c.slots);
     EXPECT_GT(r.sched.grants, 0u);
     EXPECT_EQ(r.sched.paranoid_violations, 0u);

@@ -26,7 +26,7 @@ TEST(QuickControl, ControlPacketPreemptsData) {
     const auto r = sim.result();
     EXPECT_EQ(sim.control_sent(), 1u);
     EXPECT_EQ(sim.control_preemptions(), 1u);
-    EXPECT_EQ(r.delivered, 1u);
+    EXPECT_EQ(r.delivered_unique, 1u);
     EXPECT_DOUBLE_EQ(r.mean_delay, 2.0);  // one slot late
 }
 
@@ -44,7 +44,7 @@ TEST(QuickControl, ControlCollidesWithDataAtTheTarget) {
     sim.run();
     const auto r = sim.result();
     EXPECT_EQ(r.collisions, 1u);
-    EXPECT_EQ(r.delivered, 1u);  // the data packet gets through on retry
+    EXPECT_EQ(r.delivered_unique, 1u);  // the data packet gets through on retry
 }
 
 TEST(Integrated, AcksAreInjectedAndCounted) {
@@ -59,8 +59,8 @@ TEST(Integrated, AcksAreInjectedAndCounted) {
     // Every delivered-and-acked bulk packet produced one control packet
     // on the quick channel.
     EXPECT_GT(r.quick_control_sent, 0u);
-    EXPECT_GE(r.quick_control_sent, r.bulk.delivered - r.bulk.ack_losses);
-    EXPECT_GT(r.quick.delivered, 0u);
+    EXPECT_GE(r.quick_control_sent, r.bulk.delivered_unique - r.bulk.ack_losses);
+    EXPECT_GT(r.quick.delivered_unique, 0u);
 }
 
 TEST(Integrated, BulkAckTrafficDegradesQuickChannel) {
@@ -104,8 +104,8 @@ TEST(Integrated, Deterministic) {
     c.integrated = true;
     const auto a = run_clint(c);
     const auto b = run_clint(c);
-    EXPECT_EQ(a.bulk.delivered, b.bulk.delivered);
-    EXPECT_EQ(a.quick.delivered, b.quick.delivered);
+    EXPECT_EQ(a.bulk.delivered_unique, b.bulk.delivered_unique);
+    EXPECT_EQ(a.quick.delivered_unique, b.quick.delivered_unique);
     EXPECT_DOUBLE_EQ(a.quick.mean_delay, b.quick.mean_delay);
     EXPECT_EQ(a.quick_control_sent, b.quick_control_sent);
 }

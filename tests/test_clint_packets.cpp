@@ -43,6 +43,38 @@ TEST(ConfigPacket, RejectsWrongLength) {
     EXPECT_FALSE(ConfigPacket::decode(wire).has_value());
 }
 
+// Truncation faults hand the decoder arbitrarily short buffers —
+// including ones too short to hold even the CRC field, which used to
+// make the checksum helper's `size() - 2` underflow. Every length from
+// empty to oversized must be rejected cleanly.
+TEST(ConfigPacket, RejectsTruncatedEmptyAndOversizedWires) {
+    const auto wire = ConfigPacket{0xBEEF, 0x0001, 0xFFFF, 0xFFFF}.encode();
+    EXPECT_FALSE(ConfigPacket::decode({}).has_value());
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+        const auto cut = std::vector<std::uint8_t>(wire.begin(),
+                                                   wire.begin() +
+                                                       static_cast<std::ptrdiff_t>(len));
+        EXPECT_FALSE(ConfigPacket::decode(cut).has_value()) << "len " << len;
+    }
+    auto grown = wire;
+    grown.insert(grown.end(), 5, 0xAA);
+    EXPECT_FALSE(ConfigPacket::decode(grown).has_value());
+}
+
+TEST(GrantPacket, RejectsTruncatedEmptyAndOversizedWires) {
+    const auto wire = GrantPacket{4, 2, true, false, true}.encode();
+    EXPECT_FALSE(GrantPacket::decode({}).has_value());
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+        const auto cut = std::vector<std::uint8_t>(wire.begin(),
+                                                   wire.begin() +
+                                                       static_cast<std::ptrdiff_t>(len));
+        EXPECT_FALSE(GrantPacket::decode(cut).has_value()) << "len " << len;
+    }
+    auto grown = wire;
+    grown.push_back(0);
+    EXPECT_FALSE(GrantPacket::decode(grown).has_value());
+}
+
 TEST(GrantPacket, RoundTripAllFlagCombinations) {
     for (int flags = 0; flags < 8; ++flags) {
         GrantPacket p;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "clint/clint_sim.hpp"
 
 #include "traffic/bernoulli.hpp"
@@ -32,7 +34,7 @@ TEST(QuickChannel, UncontendedPacketDeliversInOneSlot) {
     QuickChannelSim sim(c, std::make_unique<traffic::TraceTraffic>(
                                std::vector<traffic::TraceEntry>{{3, 0, 2}}));
     const auto r = sim.run();
-    EXPECT_EQ(r.delivered, 1u);
+    EXPECT_EQ(r.delivered_unique, 1u);
     EXPECT_EQ(r.collisions, 0u);
     EXPECT_DOUBLE_EQ(r.mean_delay, 1.0);  // best-effort: no scheduling wait
 }
@@ -50,7 +52,7 @@ TEST(QuickChannel, CollisionDropsAllButOne) {
                                    {0, 0, 3}, {0, 1, 3}}));
     const auto r = sim.run();
     EXPECT_EQ(r.collisions, 1u);
-    EXPECT_EQ(r.delivered, 2u);
+    EXPECT_EQ(r.delivered_unique, 2u);
     EXPECT_GE(r.retransmissions, 1u);
 }
 
@@ -60,7 +62,7 @@ TEST(QuickChannel, LowLoadDeliversEverything) {
                         std::make_unique<traffic::BernoulliUniform>(0.1));
     const auto r = sim.run();
     EXPECT_GT(r.generated, 300u);
-    EXPECT_GE(r.delivered + 8, r.generated - r.dropped_queue);
+    EXPECT_GE(r.delivered_unique + 8, r.generated - r.dropped_queue);
     EXPECT_GT(r.delivery_ratio, 0.95);
 }
 
@@ -71,7 +73,7 @@ TEST(QuickChannel, HighContentionCausesCollisionsButProgress) {
                                     0.8, 1.0, 0));
     const auto r = sim.run();
     EXPECT_GT(r.collisions, 0u);
-    EXPECT_GT(r.delivered, 0u);
+    EXPECT_GT(r.delivered_unique, 0u);
     // The single output can carry at most one packet per slot; four
     // hosts offering 0.8 each overload it 3.2x, so most traffic cannot
     // get through.
@@ -116,6 +118,52 @@ TEST(QuickChannel, RetryLimitAbandonsHopelessPackets) {
     EXPECT_GT(r.abandoned, 0u);
 }
 
+// The ack-corruption probability must follow the same independent-bit
+// formula as the data path, parameterised by the configured ack size —
+// it used to be hard-coded to 64 bits regardless of the config.
+TEST(QuickChannel, AckCorruptProbabilityFollowsConfiguredAckBits) {
+    for (const std::size_t ack_bits : {std::size_t{64}, std::size_t{128},
+                                       std::size_t{1024}}) {
+        QuickChannelConfig c = small_config();
+        c.bit_error_rate = 3e-4;
+        c.ack_bits = ack_bits;
+        QuickChannelSim sim(c,
+                            std::make_unique<traffic::BernoulliUniform>(0.1));
+        const double expected =
+            1.0 - std::pow(1.0 - c.bit_error_rate,
+                           static_cast<double>(ack_bits));
+        EXPECT_DOUBLE_EQ(sim.ack_corrupt_probability(), expected)
+            << ack_bits << " ack bits";
+        EXPECT_DOUBLE_EQ(sim.data_corrupt_probability(),
+                         1.0 - std::pow(1.0 - c.bit_error_rate,
+                                        static_cast<double>(c.payload_bits)));
+    }
+}
+
+// A packet whose delivery landed but whose acks kept vanishing is not
+// data loss: it must be counted abandoned_delivered, not abandoned, and
+// the conservation identity must stay exact either way.
+TEST(QuickChannel, AbandonedSplitsDeliveredFromUndelivered) {
+    QuickChannelConfig c;
+    c.hosts = 2;
+    c.slots = 4000;
+    c.warmup_slots = 0;
+    c.seed = 5;
+    c.bit_error_rate = 1.2e-3;  // ~71% data loss, ~8% ack loss at defaults
+    c.payload_bits = 1024;
+    c.max_retries = 3;
+    QuickChannelSim sim(c, std::make_unique<traffic::BernoulliUniform>(0.4));
+    const auto r = sim.run();
+    EXPECT_GT(r.abandoned, 0u);
+    EXPECT_GT(r.abandoned_delivered, 0u);
+    EXPECT_GT(r.duplicate_deliveries, 0u);
+    const auto a = sim.accounting();
+    EXPECT_TRUE(a.balanced())
+        << "generated " << a.generated << " != delivered " << a.delivered_unique
+        << " + queued " << a.queued << " + in_flight " << a.in_flight
+        << " + dropped " << a.dropped << " + abandoned " << a.abandoned;
+}
+
 TEST(QuickChannel, RejectsBadConfiguration) {
     QuickChannelConfig c;
     c.hosts = 0;
@@ -134,8 +182,8 @@ TEST(ClintSim, CombinedRunProducesBothChannelResults) {
     c.bulk_load = 0.5;
     c.quick_load = 0.1;
     const auto r = run_clint(c);
-    EXPECT_GT(r.bulk.delivered, 0u);
-    EXPECT_GT(r.quick.delivered, 0u);
+    EXPECT_GT(r.bulk.delivered_unique, 0u);
+    EXPECT_GT(r.quick.delivered_unique, 0u);
     // The architecture's division of labour: quick beats bulk on latency
     // at light load.
     EXPECT_LT(r.quick.mean_delay, r.bulk.mean_delay + 1.0);
