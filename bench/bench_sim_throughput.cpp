@@ -1,0 +1,108 @@
+// google-benchmark end-to-end simulation throughput: whole SwitchSim
+// runs (arrivals -> PQ/VOQ -> scheduling -> transfer -> metrics) in
+// slots per second, not just raw schedule() calls. This is the number a
+// Figure 12 sweep, a replication batch, or a soak run actually pays
+// per grid point, and the regression gate for the batched-arrival /
+// hot-slot-path work (see docs/performance.md).
+//
+// Grid: VOQ lcf_central / lcf_dist / islip, n in {16, 64, 256},
+// uniform and bursty traffic, offered loads 0.7 / 0.9 / 1.0.
+// Benchmark names encode the point as
+//   BM_SimThroughput/<scheduler>/<traffic>/<n>/<load%>
+// and each run reports items/sec == simulated slots/sec.
+//
+// Usage: bench_sim_throughput [--json <path>] [google-benchmark flags...]
+// --json <path> is shorthand for
+// --benchmark_out=<path> --benchmark_out_format=json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace {
+
+// One benchmark iteration simulates this many slots: enough to amortise
+// construction and fill the queues past the warm-up transient, small
+// enough that google-benchmark still gets several iterations per repeat.
+constexpr std::uint64_t kSlots = 2048;
+constexpr std::uint64_t kWarmup = 256;
+
+void run_sim_point(benchmark::State& state, const std::string& sched,
+                   const std::string& traffic, std::size_t ports,
+                   double load) {
+    lcf::sim::SimConfig config;
+    config.ports = ports;
+    config.slots = kSlots;
+    config.warmup_slots = kWarmup;
+    config.seed = 42;
+    const lcf::sched::SchedulerConfig sched_config{.iterations = 4,
+                                                   .seed = 17};
+    for (auto _ : state) {
+        const auto result =
+            lcf::sim::run_named(sched, config, traffic, load, sched_config);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kSlots));
+}
+
+void register_grid() {
+    const std::vector<std::string> scheds = {"lcf_central", "lcf_dist",
+                                             "islip"};
+    const std::vector<std::string> traffics = {"uniform", "bursty"};
+    const std::vector<std::size_t> radices = {16, 64, 256};
+    const std::vector<int> load_pcts = {70, 90, 100};
+    for (const auto& sched : scheds) {
+        for (const auto& traffic : traffics) {
+            for (const std::size_t n : radices) {
+                for (const int pct : load_pcts) {
+                    const std::string name =
+                        "BM_SimThroughput/" + sched + "/" + traffic + "/" +
+                        std::to_string(n) + "/" + std::to_string(pct);
+                    benchmark::RegisterBenchmark(
+                        name.c_str(),
+                        [sched, traffic, n, pct](benchmark::State& state) {
+                            run_sim_point(state, sched, traffic, n,
+                                          static_cast<double>(pct) / 100.0);
+                        })
+                        ->Unit(benchmark::kMillisecond);
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Translate the repo-conventional `--json <path>` into
+    // google-benchmark's output flags before Initialize() sees argv.
+    std::vector<std::string> storage;
+    storage.reserve(static_cast<std::size_t>(argc) + 2);
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+            storage.emplace_back(std::string("--benchmark_out=") + argv[i + 1]);
+            storage.emplace_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            storage.emplace_back(argv[i]);
+        }
+    }
+    std::vector<char*> args;
+    args.reserve(storage.size());
+    for (auto& s : storage) args.push_back(s.data());
+    int new_argc = static_cast<int>(args.size());
+    register_grid();
+    benchmark::Initialize(&new_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -51,8 +51,7 @@ ReplicatedResult replicate(std::string_view config_name,
     ReplicatedResult result;
     result.runs.resize(replications);
 
-    util::ThreadPool pool(threads);
-    pool.parallel_for(0, replications, [&](std::size_t k) {
+    util::parallel_for_n(threads, 0, replications, [&](std::size_t k) {
         sim::SimConfig run_config = config;
         run_config.seed = util::derive_seed(config.seed, 1000 + k);
         sched::SchedulerConfig run_sched = sched_config;

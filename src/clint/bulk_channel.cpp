@@ -30,6 +30,7 @@ BulkChannelSim::BulkChannelSim(
         throw std::invalid_argument("traffic generator required");
     }
     traffic_->reset(config_.hosts, config_.hosts, config_.seed);
+    arrival_buf_.assign(config_.hosts, traffic::kNoArrival);
     scheduler_.reset(config_.hosts, config_.hosts);
     hosts_.resize(config_.hosts);
     for (std::size_t h = 0; h < config_.hosts; ++h) {
@@ -152,8 +153,9 @@ void BulkChannelSim::apply_host_faults() {
 }
 
 void BulkChannelSim::step_arrivals() {
+    traffic_->arrivals(slot_, arrival_buf_.data());
     for (std::size_t h = 0; h < config_.hosts; ++h) {
-        const std::int32_t dst = traffic_->arrival(h, slot_);
+        const std::int32_t dst = arrival_buf_[h];
         if (dst == traffic::kNoArrival) continue;
         ++stats_.generated;
         sim::Packet p{next_packet_id_++, static_cast<std::uint32_t>(h),

@@ -18,6 +18,7 @@ QuickChannelSim::QuickChannelSim(
         throw std::invalid_argument("traffic generator required");
     }
     traffic_->reset(config_.hosts, config_.hosts, config_.seed);
+    arrival_buf_.assign(config_.hosts, traffic::kNoArrival);
     hosts_.resize(config_.hosts);
     for (auto& h : hosts_) {
         h.queue = sim::PacketQueue(config_.queue_capacity);
@@ -68,9 +69,10 @@ void QuickChannelSim::step() {
         apply_host_faults();
     }
 
-    // Arrivals into the send queues.
+    // Arrivals into the send queues (one batched generator call).
+    traffic_->arrivals(slot_, arrival_buf_.data());
     for (std::size_t h = 0; h < config_.hosts; ++h) {
-        const std::int32_t dst = traffic_->arrival(h, slot_);
+        const std::int32_t dst = arrival_buf_[h];
         if (dst == traffic::kNoArrival) continue;
         ++stats_.generated;
         const sim::Packet p{next_packet_id_++, static_cast<std::uint32_t>(h),

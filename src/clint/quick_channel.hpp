@@ -174,6 +174,9 @@ private:
 
     std::optional<fault::FaultInjector> injector_;
     std::vector<bool> host_up_;  // as of the last apply_host_faults()
+    // Per-slot arrival destinations (one batched traffic_->arrivals()
+    // call per slot instead of hosts virtual calls).
+    std::vector<std::int32_t> arrival_buf_;
 
     std::uint64_t slot_ = 0;
     std::uint64_t next_packet_id_ = 0;

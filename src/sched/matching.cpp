@@ -7,11 +7,18 @@
 namespace lcf::sched {
 
 Matching::Matching(std::size_t inputs, std::size_t outputs)
-    : in_to_out_(inputs, kUnmatched), out_to_in_(outputs, kUnmatched) {}
+    : in_to_out_(inputs, kUnmatched),
+      out_to_in_(outputs, kUnmatched),
+      matched_outputs_(outputs) {}
 
 void Matching::reset(std::size_t inputs, std::size_t outputs) {
     in_to_out_.assign(inputs, kUnmatched);
     out_to_in_.assign(outputs, kUnmatched);
+    if (matched_outputs_.size() == outputs) {
+        matched_outputs_.clear();
+    } else {
+        matched_outputs_ = util::BitVec(outputs);
+    }
 }
 
 void Matching::match(std::size_t input, std::size_t output) noexcept {
@@ -19,6 +26,7 @@ void Matching::match(std::size_t input, std::size_t output) noexcept {
     assert(out_to_in_[output] == kUnmatched);
     in_to_out_[input] = static_cast<std::int32_t>(output);
     out_to_in_[output] = static_cast<std::int32_t>(input);
+    matched_outputs_.set(output);
 }
 
 void Matching::unmatch_input(std::size_t input) noexcept {
@@ -26,15 +34,8 @@ void Matching::unmatch_input(std::size_t input) noexcept {
     if (out != kUnmatched) {
         out_to_in_[static_cast<std::size_t>(out)] = kUnmatched;
         in_to_out_[input] = kUnmatched;
+        matched_outputs_.reset(static_cast<std::size_t>(out));
     }
-}
-
-std::size_t Matching::size() const noexcept {
-    std::size_t n = 0;
-    for (const auto v : in_to_out_) {
-        if (v != kUnmatched) ++n;
-    }
-    return n;
 }
 
 bool Matching::valid_for(const RequestMatrix& requests) const noexcept {

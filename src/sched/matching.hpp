@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/bitvec.hpp"
+
 namespace lcf::sched {
 
 class RequestMatrix;
@@ -50,8 +52,17 @@ public:
         return out_to_in_[output] != kUnmatched;
     }
 
+    /// Bit j set iff output j is matched — maintained incrementally so
+    /// the crossbar's transfer loop can scan only the matched outputs
+    /// (matched_outputs().set_bits()) instead of probing all n.
+    [[nodiscard]] const util::BitVec& matched_outputs() const noexcept {
+        return matched_outputs_;
+    }
+
     /// Number of matched pairs.
-    [[nodiscard]] std::size_t size() const noexcept;
+    [[nodiscard]] std::size_t size() const noexcept {
+        return matched_outputs_.count();
+    }
 
     /// True when every matched pair is backed by a request in `requests`
     /// and the two direction maps are mutually consistent.
@@ -69,6 +80,7 @@ public:
 private:
     std::vector<std::int32_t> in_to_out_;
     std::vector<std::int32_t> out_to_in_;
+    util::BitVec matched_outputs_;
 };
 
 }  // namespace lcf::sched

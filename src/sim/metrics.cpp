@@ -17,11 +17,8 @@ MetricsCollector::MetricsCollector(std::size_t inputs, std::size_t outputs,
       outputs_(outputs),
       service_(record_service_matrix ? inputs * outputs : 0, 0) {}
 
-void MetricsCollector::on_delivered(std::uint64_t generated_slot,
-                                    std::uint64_t delay, std::size_t input,
-                                    std::size_t output) noexcept {
-    ++delivered_;
-    if (generated_slot < warmup_slot_) return;
+void MetricsCollector::record_measured(std::uint64_t delay, std::size_t input,
+                                       std::size_t output) noexcept {
     delay_.add(delay);
     delay_stat_.add(static_cast<double>(delay));
     if (!service_.empty()) {

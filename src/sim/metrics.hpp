@@ -26,9 +26,16 @@ public:
     /// A packet was dropped at the packet queue / FIFO / output buffer.
     void on_dropped() noexcept { ++dropped_; }
     /// A packet crossed the output link. `delay` is in slots;
-    /// `generated_slot` decides warm-up exclusion.
+    /// `generated_slot` decides warm-up exclusion. Inline so the warm-up
+    /// fast path (a counter bump and one compare) costs no call in the
+    /// simulator's transfer loop; the measured slow path stays
+    /// out-of-line.
     void on_delivered(std::uint64_t generated_slot, std::uint64_t delay,
-                      std::size_t input, std::size_t output) noexcept;
+                      std::size_t input, std::size_t output) noexcept {
+        ++delivered_;
+        if (generated_slot < warmup_slot_) return;
+        record_measured(delay, input, output);
+    }
 
     [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
     [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
@@ -54,6 +61,9 @@ public:
     }
 
 private:
+    void record_measured(std::uint64_t delay, std::size_t input,
+                         std::size_t output) noexcept;
+
     std::uint64_t warmup_slot_;
     std::uint64_t generated_ = 0;
     std::uint64_t dropped_ = 0;

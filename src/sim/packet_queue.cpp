@@ -1,34 +1,23 @@
 #include "sim/packet_queue.hpp"
 
-#include <cassert>
+#include <algorithm>
 
 namespace lcf::sim {
 
-PacketQueue::PacketQueue(std::size_t capacity) : buffer_(capacity) {}
-
-bool PacketQueue::push(const Packet& p) noexcept {
-    if (full()) return false;
-    buffer_[(head_ + size_) % buffer_.size()] = p;
-    ++size_;
-    return true;
-}
-
-const Packet& PacketQueue::front() const noexcept {
-    assert(!empty());
-    return buffer_[head_];
-}
-
-Packet PacketQueue::pop() noexcept {
-    assert(!empty());
-    const Packet p = buffer_[head_];
-    head_ = (head_ + 1) % buffer_.size();
-    --size_;
-    return p;
-}
-
-void PacketQueue::clear() noexcept {
+void PacketQueue::grow() {
+    // Called only when the ring is packed (size_ == buffer_.size() <
+    // capacity_). Double the storage (min 8 entries, never past the
+    // bound) and linearize the ring so head_ restarts at 0.
+    const std::size_t new_cap =
+        std::min(capacity_, std::max<std::size_t>(8, buffer_.size() * 2));
+    std::vector<Packet> next(new_cap);
+    for (std::size_t k = 0; k < size_; ++k) {
+        std::size_t idx = head_ + k;
+        if (idx >= buffer_.size()) idx -= buffer_.size();
+        next[k] = buffer_[idx];
+    }
+    buffer_ = std::move(next);
     head_ = 0;
-    size_ = 0;
 }
 
 }  // namespace lcf::sim

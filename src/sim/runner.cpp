@@ -55,8 +55,7 @@ std::vector<SweepPoint> sweep(const std::vector<std::string>& config_names,
             points.push_back(SweepPoint{name, load, {}});
         }
     }
-    util::ThreadPool pool(threads);
-    pool.parallel_for(0, points.size(), [&](std::size_t k) {
+    util::parallel_for_n(threads, 0, points.size(), [&](std::size_t k) {
         points[k].result = run_named(points[k].config_name, base, traffic_name,
                                      points[k].load, sched_config);
     });

@@ -31,7 +31,8 @@ struct SweepPoint {
 };
 
 /// Run the full (configuration × load) grid, using `threads` worker
-/// threads (0 = hardware concurrency). Results are returned in
+/// threads (0 = the process-wide util::ThreadPool::shared(), so
+/// repeated sweeps reuse one set of workers). Results are returned in
 /// config-major, load-minor order regardless of completion order.
 std::vector<SweepPoint> sweep(const std::vector<std::string>& config_names,
                               const std::vector<double>& loads,

@@ -27,6 +27,7 @@ SwitchSim::SwitchSim(const SimConfig& config,
     }
 
     traffic_->reset(config_.ports, config_.ports, config_.seed);
+    arrival_buf_.assign(config_.ports, traffic::kNoArrival);
     if (config_.speedup == 0) {
         throw std::invalid_argument("speedup must be at least 1");
     }
@@ -116,8 +117,9 @@ void SwitchSim::deliver(const Packet& p) {
 }
 
 void SwitchSim::step_arrivals() {
+    traffic_->arrivals(slot_, arrival_buf_.data());
     for (std::size_t i = 0; i < config_.ports; ++i) {
-        const std::int32_t dst = traffic_->arrival(i, slot_);
+        const std::int32_t dst = arrival_buf_[i];
         if (dst == traffic::kNoArrival) continue;
         metrics_.on_generated();
         if (!port_up_[i]) {
@@ -176,10 +178,19 @@ void SwitchSim::step_voq_mode() {
         if (injector_) mask_down_ports();
 
         if (phase == 0 && slot_ >= config_.warmup_slots) {
-            // "Choices" diagnostic: mean non-empty VOQs per input.
+            // "Choices" diagnostic: mean non-empty VOQs per input. Read
+            // from the banks' incrementally maintained counts; with a
+            // fault injector engaged the masked request rows differ from
+            // raw occupancy, so fall back to counting the actual rows.
             std::size_t nonempty = 0;
-            for (std::size_t i = 0; i < config_.ports; ++i) {
-                nonempty += requests_.row(i).count();
+            if (injector_) {
+                for (std::size_t i = 0; i < config_.ports; ++i) {
+                    nonempty += requests_.row(i).count();
+                }
+            } else {
+                for (std::size_t i = 0; i < config_.ports; ++i) {
+                    nonempty += voqs_[i].nonempty_count();
+                }
             }
             choices_accum_ += static_cast<double>(nonempty) /
                               static_cast<double>(config_.ports);
@@ -198,13 +209,16 @@ void SwitchSim::step_voq_mode() {
         observe_schedule();
         apply_fabric();
 
-        // Transfer the head-of-VOQ packet of every matched pair. At
-        // speedup 1 the packet crosses straight onto the output link;
-        // with speedup the fabric outruns the link, so packets land in
-        // the per-output buffer drained at line rate below.
-        for (std::size_t j = 0; j < config_.ports; ++j) {
+        // Transfer the head-of-VOQ packet of every matched pair,
+        // visiting only the matched outputs (set-bit scan — at high load
+        // most outputs are matched, but at low load this skips nearly
+        // the whole port range). At speedup 1 the packet crosses
+        // straight onto the output link; with speedup the fabric outruns
+        // the link, so packets land in the per-output buffer drained at
+        // line rate below.
+        for (const std::size_t j : matching_.matched_outputs().set_bits()) {
             const std::int32_t i = matching_.input_of(j);
-            if (i == sched::kUnmatched) continue;
+            assert(i != sched::kUnmatched);
             auto& bank = voqs_[static_cast<std::size_t>(i)];
             assert(!bank.queue(j).empty());
             if (config_.speedup == 1) {
@@ -267,9 +281,9 @@ void SwitchSim::step_fifo_mode() {
     observe_schedule();
     apply_fabric();
 
-    for (std::size_t j = 0; j < config_.ports; ++j) {
+    for (const std::size_t j : matching_.matched_outputs().set_bits()) {
         const std::int32_t i = matching_.input_of(j);
-        if (i == sched::kUnmatched) continue;
+        assert(i != sched::kUnmatched);
         auto& q = input_queues_[static_cast<std::size_t>(i)];
         assert(!q.empty() && q.front().destination == j);
         deliver(q.pop());

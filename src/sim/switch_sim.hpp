@@ -179,6 +179,9 @@ private:
 
     sched::RequestMatrix requests_;
     sched::Matching matching_;
+    // Per-slot arrival destinations, filled by one batched
+    // traffic_->arrivals() call instead of ports virtual calls per slot.
+    std::vector<std::int32_t> arrival_buf_;
     // VOQ occupancy counts for iLQF-style (weight-aware) schedulers,
     // maintained incrementally at every VOQ push/pop instead of an
     // O(ports²) gather per scheduling phase. Only tracked when the

@@ -5,15 +5,23 @@ namespace lcf::sim {
 VoqBank::VoqBank(std::size_t outputs, std::size_t capacity)
     : queues_(outputs, PacketQueue(capacity)), occupancy_(outputs) {}
 
-bool VoqBank::push(const Packet& p) noexcept {
-    const bool accepted = queues_[p.destination].push(p);
-    if (accepted) occupancy_.set(p.destination);
+bool VoqBank::push(const Packet& p) {
+    auto& q = queues_[p.destination];
+    const bool was_empty = q.empty();
+    const bool accepted = q.push(p);
+    if (accepted && was_empty) {
+        occupancy_.set(p.destination);
+        ++nonempty_;
+    }
     return accepted;
 }
 
 Packet VoqBank::pop(std::size_t output) noexcept {
     Packet p = queues_[output].pop();
-    if (queues_[output].empty()) occupancy_.reset(output);
+    if (queues_[output].empty()) {
+        occupancy_.reset(output);
+        --nonempty_;
+    }
     return p;
 }
 

@@ -33,7 +33,8 @@ public:
     }
 
     /// Enqueue into the destination's queue; false (drop) when full.
-    bool push(const Packet& p) noexcept;
+    /// May allocate (the queue's ring grows lazily), hence not noexcept.
+    bool push(const Packet& p);
     /// Dequeue the head packet destined for `output` (precondition: the
     /// queue is non-empty).
     Packet pop(std::size_t output) noexcept;
@@ -43,10 +44,15 @@ public:
     [[nodiscard]] const util::BitVec& occupancy() const noexcept {
         return occupancy_;
     }
-    [[nodiscard]] util::BitVec request_vector() const { return occupancy_; }
     /// Write occupancy bits into `out` (which must have size outputs()).
     void fill_request_vector(util::BitVec& out) const noexcept {
         out = occupancy_;
+    }
+
+    /// Number of non-empty queues (== occupancy().count(), maintained
+    /// incrementally for the simulator's "choices" diagnostic).
+    [[nodiscard]] std::size_t nonempty_count() const noexcept {
+        return nonempty_;
     }
 
     /// Total packets buffered across all queues.
@@ -55,6 +61,7 @@ public:
 private:
     std::vector<PacketQueue> queues_;
     util::BitVec occupancy_;
+    std::size_t nonempty_ = 0;
 };
 
 }  // namespace lcf::sim

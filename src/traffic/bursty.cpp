@@ -27,8 +27,8 @@ BurstyTraffic::BurstyTraffic(double load, double mean_burst)
     }
 }
 
-void BurstyTraffic::reset(std::size_t inputs, std::size_t outputs,
-                          std::uint64_t seed) {
+void BurstyTraffic::do_reset(std::size_t inputs, std::size_t outputs,
+                             std::uint64_t seed) {
     if (inputs == 0 || outputs == 0) {
         throw std::invalid_argument(
             "bursty traffic requires a non-empty switch geometry");
@@ -50,6 +50,27 @@ std::int32_t BurstyTraffic::arrival(std::size_t input, std::uint64_t /*slot*/) {
     const std::int32_t dst = p.burst_dst;
     if (p.rng.next_bool(p_end_burst_)) p.on = false;
     return dst;
+}
+
+void BurstyTraffic::arrivals(std::uint64_t /*slot*/, std::int32_t* out) {
+    // Same per-port draws in the same order as arrival(i, slot).
+    const double p_start = p_start_burst_;
+    const double p_end = p_end_burst_;
+    const std::size_t outputs = outputs_;
+    const std::size_t n = ports_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        PortState& p = ports_[i];
+        if (!p.on) {
+            if (!p.rng.next_bool(p_start)) {
+                out[i] = kNoArrival;
+                continue;
+            }
+            p.on = true;
+            p.burst_dst = static_cast<std::int32_t>(p.rng.next_below(outputs));
+        }
+        out[i] = p.burst_dst;
+        if (p.rng.next_bool(p_end)) p.on = false;
+    }
 }
 
 }  // namespace lcf::traffic

@@ -18,13 +18,16 @@ class DiagonalTraffic final : public TrafficGenerator {
 public:
     explicit DiagonalTraffic(double load);
 
-    void reset(std::size_t inputs, std::size_t outputs,
-               std::uint64_t seed) override;
     std::int32_t arrival(std::size_t input, std::uint64_t slot) override;
+    void arrivals(std::uint64_t slot, std::int32_t* out) override;
     [[nodiscard]] double offered_load() const noexcept override { return load_; }
     [[nodiscard]] std::string_view name() const noexcept override {
         return "diagonal";
     }
+
+protected:
+    void do_reset(std::size_t inputs, std::size_t outputs,
+                  std::uint64_t seed) override;
 
 private:
     double load_;

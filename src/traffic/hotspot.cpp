@@ -15,8 +15,8 @@ HotspotTraffic::HotspotTraffic(double load, double hot_fraction,
     }
 }
 
-void HotspotTraffic::reset(std::size_t inputs, std::size_t outputs,
-                           std::uint64_t seed) {
+void HotspotTraffic::do_reset(std::size_t inputs, std::size_t outputs,
+                              std::uint64_t seed) {
     if (inputs == 0 || outputs == 0) {
         throw std::invalid_argument(
             "hotspot traffic requires a non-empty switch geometry");
@@ -39,6 +39,25 @@ std::int32_t HotspotTraffic::arrival(std::size_t input, std::uint64_t /*slot*/) 
         return static_cast<std::int32_t>(hot_port_);
     }
     return static_cast<std::int32_t>(rng.next_below(outputs_));
+}
+
+void HotspotTraffic::arrivals(std::uint64_t /*slot*/, std::int32_t* out) {
+    // Same per-port draws in the same order as arrival(i, slot).
+    const double load = load_;
+    const double hot_fraction = hot_fraction_;
+    const auto hot_port = static_cast<std::int32_t>(hot_port_);
+    const std::size_t outputs = outputs_;
+    const std::size_t n = rng_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        auto& rng = rng_[i];
+        if (!rng.next_bool(load)) {
+            out[i] = kNoArrival;
+        } else if (rng.next_bool(hot_fraction)) {
+            out[i] = hot_port;
+        } else {
+            out[i] = static_cast<std::int32_t>(rng.next_below(outputs));
+        }
+    }
 }
 
 }  // namespace lcf::traffic

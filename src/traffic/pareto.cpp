@@ -42,8 +42,8 @@ double ParetoBurstTraffic::sample_burst(util::Xoshiro256& rng) const noexcept {
     return std::pow(1.0 - u * (1.0 - tail), -1.0 / alpha_);
 }
 
-void ParetoBurstTraffic::reset(std::size_t inputs, std::size_t outputs,
-                               std::uint64_t seed) {
+void ParetoBurstTraffic::do_reset(std::size_t inputs, std::size_t outputs,
+                                  std::uint64_t seed) {
     if (inputs == 0 || outputs == 0) {
         throw std::invalid_argument(
             "pareto traffic requires a non-empty switch geometry");
@@ -67,6 +67,28 @@ std::int32_t ParetoBurstTraffic::arrival(std::size_t input,
     }
     --p.remaining_burst;
     return p.burst_dst;
+}
+
+void ParetoBurstTraffic::arrivals(std::uint64_t /*slot*/, std::int32_t* out) {
+    // Same per-port draws in the same order as arrival(i, slot).
+    const double p_start = p_start_;
+    const std::size_t outputs = outputs_;
+    const std::size_t n = ports_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        PortState& p = ports_[i];
+        if (p.remaining_burst == 0) {
+            if (!p.rng.next_bool(p_start)) {
+                out[i] = kNoArrival;
+                continue;
+            }
+            p.remaining_burst = static_cast<std::uint64_t>(
+                std::llround(sample_burst(p.rng)));
+            if (p.remaining_burst == 0) p.remaining_burst = 1;
+            p.burst_dst = static_cast<std::int32_t>(p.rng.next_below(outputs));
+        }
+        --p.remaining_burst;
+        out[i] = p.burst_dst;
+    }
 }
 
 }  // namespace lcf::traffic

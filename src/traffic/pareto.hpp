@@ -23,9 +23,8 @@ public:
     explicit ParetoBurstTraffic(double load, double alpha = 1.5,
                                 double max_burst = 10000.0);
 
-    void reset(std::size_t inputs, std::size_t outputs,
-               std::uint64_t seed) override;
     std::int32_t arrival(std::size_t input, std::uint64_t slot) override;
+    void arrivals(std::uint64_t slot, std::int32_t* out) override;
     [[nodiscard]] double offered_load() const noexcept override {
         return load_;
     }
@@ -38,6 +37,10 @@ public:
 
     /// One bounded-Pareto draw (exposed for the distribution tests).
     [[nodiscard]] double sample_burst(util::Xoshiro256& rng) const noexcept;
+
+protected:
+    void do_reset(std::size_t inputs, std::size_t outputs,
+                  std::uint64_t seed) override;
 
 private:
     struct PortState {

@@ -17,9 +17,8 @@ class PermutationTraffic final : public TrafficGenerator {
 public:
     explicit PermutationTraffic(double load);
 
-    void reset(std::size_t inputs, std::size_t outputs,
-               std::uint64_t seed) override;
     std::int32_t arrival(std::size_t input, std::uint64_t slot) override;
+    void arrivals(std::uint64_t slot, std::int32_t* out) override;
     [[nodiscard]] double offered_load() const noexcept override { return load_; }
     [[nodiscard]] std::string_view name() const noexcept override {
         return "permutation";
@@ -29,6 +28,10 @@ public:
     [[nodiscard]] std::size_t destination_of(std::size_t input) const {
         return perm_[input];
     }
+
+protected:
+    void do_reset(std::size_t inputs, std::size_t outputs,
+                  std::uint64_t seed) override;
 
 private:
     double load_;

@@ -15,8 +15,8 @@ TraceTraffic::TraceTraffic(std::vector<TraceEntry> entries) {
     }
 }
 
-void TraceTraffic::reset(std::size_t inputs, std::size_t outputs,
-                         std::uint64_t /*seed*/) {
+void TraceTraffic::do_reset(std::size_t inputs, std::size_t outputs,
+                            std::uint64_t /*seed*/) {
     std::uint64_t max_slot = 0;
     for (const auto& [key, dst] : arrivals_) {
         if (key.second >= inputs) {

@@ -23,8 +23,6 @@ class TraceTraffic final : public TrafficGenerator {
 public:
     explicit TraceTraffic(std::vector<TraceEntry> entries);
 
-    void reset(std::size_t inputs, std::size_t outputs,
-               std::uint64_t seed) override;
     std::int32_t arrival(std::size_t input, std::uint64_t slot) override;
     /// Offered load is trace-dependent; reports arrivals per (input,
     /// slot) over the trace's span once reset() has validated it.
@@ -34,6 +32,10 @@ public:
     [[nodiscard]] std::string_view name() const noexcept override {
         return "trace";
     }
+
+protected:
+    void do_reset(std::size_t inputs, std::size_t outputs,
+                  std::uint64_t seed) override;
 
 private:
     std::map<std::pair<std::uint64_t, std::size_t>, std::size_t> arrivals_;

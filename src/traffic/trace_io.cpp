@@ -65,8 +65,8 @@ RecordingTraffic::RecordingTraffic(std::unique_ptr<TrafficGenerator> inner)
     }
 }
 
-void RecordingTraffic::reset(std::size_t inputs, std::size_t outputs,
-                             std::uint64_t seed) {
+void RecordingTraffic::do_reset(std::size_t inputs, std::size_t outputs,
+                                std::uint64_t seed) {
     inner_->reset(inputs, outputs, seed);
     entries_.clear();
 }

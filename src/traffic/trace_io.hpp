@@ -28,8 +28,8 @@ class RecordingTraffic final : public TrafficGenerator {
 public:
     explicit RecordingTraffic(std::unique_ptr<TrafficGenerator> inner);
 
-    void reset(std::size_t inputs, std::size_t outputs,
-               std::uint64_t seed) override;
+    // Note: no arrivals() override — the inherited batch default
+    // dispatches through arrival(), so batched callers are recorded too.
     std::int32_t arrival(std::size_t input, std::uint64_t slot) override;
     [[nodiscard]] double offered_load() const noexcept override {
         return inner_->offered_load();
@@ -46,6 +46,10 @@ public:
     [[nodiscard]] std::vector<TraceEntry> take() noexcept {
         return std::move(entries_);
     }
+
+protected:
+    void do_reset(std::size_t inputs, std::size_t outputs,
+                  std::uint64_t seed) override;
 
 private:
     std::unique_ptr<TrafficGenerator> inner_;

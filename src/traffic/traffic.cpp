@@ -13,6 +13,13 @@ namespace lcf::traffic {
 
 TrafficGenerator::~TrafficGenerator() = default;
 
+void TrafficGenerator::arrivals(std::uint64_t slot, std::int32_t* out) {
+    // Generic fallback: one virtual dispatch per input. Generators with
+    // a native batch path override this with a devirtualised loop that
+    // draws in exactly this order.
+    for (std::size_t i = 0; i < inputs_; ++i) out[i] = arrival(i, slot);
+}
+
 std::unique_ptr<TrafficGenerator> make_traffic(std::string_view name,
                                                double load) {
     if (name == "uniform") return std::make_unique<BernoulliUniform>(load);

@@ -17,27 +17,52 @@ namespace lcf::traffic {
 inline constexpr std::int32_t kNoArrival = -1;
 
 /// One traffic pattern. reset() is called once per simulation with the
-/// switch geometry and a seed; arrival() is then called once per (slot,
-/// input) in nondecreasing slot order and returns the destination port of
-/// the packet generated at that input in that slot, or kNoArrival.
+/// switch geometry and a seed; arrivals are then drawn once per (slot,
+/// input) in nondecreasing slot order — either one input at a time via
+/// arrival(), or a whole slot at once via arrivals(). The two entry
+/// points draw from the same per-input RNG streams in the same order,
+/// so mixing them across slots (not within one slot) is well-defined
+/// and a batched run is bit-identical to a scalar one.
 class TrafficGenerator {
 public:
     virtual ~TrafficGenerator();
 
     /// Prepare for a run over an `inputs` × `outputs` switch. Generators
-    /// derive independent per-input streams from `seed`.
-    virtual void reset(std::size_t inputs, std::size_t outputs,
-                       std::uint64_t seed) = 0;
+    /// derive independent per-input streams from `seed`. Non-virtual:
+    /// records the geometry for arrivals(), then dispatches to do_reset().
+    void reset(std::size_t inputs, std::size_t outputs, std::uint64_t seed) {
+        do_reset(inputs, outputs, seed);
+        inputs_ = inputs;
+    }
 
     /// Destination of the packet generated at `input` in `slot`, or
     /// kNoArrival.
     virtual std::int32_t arrival(std::size_t input, std::uint64_t slot) = 0;
+
+    /// Batch form: out[i] = arrival(i, slot) for every input i in
+    /// ascending order, in one virtual dispatch per slot instead of one
+    /// per port. `out` must hold at least inputs() entries. Overrides
+    /// MUST preserve the per-(input, slot) draw order of arrival() so
+    /// batched and scalar runs stay bit-identical (pinned by the golden
+    /// SimResult tests in tests/test_sim_golden.cpp).
+    virtual void arrivals(std::uint64_t slot, std::int32_t* out);
+
+    /// Inputs configured by the most recent reset() (0 before the first).
+    [[nodiscard]] std::size_t inputs() const noexcept { return inputs_; }
 
     /// Mean offered load per input in [0, 1] (packets per slot).
     [[nodiscard]] virtual double offered_load() const noexcept = 0;
 
     /// Stable identifier, e.g. "uniform" or "bursty".
     [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+protected:
+    /// Generator-specific part of reset().
+    virtual void do_reset(std::size_t inputs, std::size_t outputs,
+                          std::uint64_t seed) = 0;
+
+private:
+    std::size_t inputs_ = 0;
 };
 
 /// Construct a generator by name: "uniform", "bursty", "hotspot",

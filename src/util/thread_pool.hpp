@@ -1,6 +1,6 @@
 #pragma once
-// Fixed-size worker pool with a blocking task queue and a parallel_for
-// helper. The benchmark harnesses use it to run independent
+// Fixed-size worker pool with a blocking task queue and a chunked
+// parallel_for helper. The benchmark harnesses use it to run independent
 // (scheduler, load) simulation grid points concurrently.
 
 #include <condition_variable>
@@ -17,6 +17,13 @@ namespace lcf::util {
 /// A minimal thread pool. Tasks are std::function<void()>; submit()
 /// returns a future for completion/exception propagation. The destructor
 /// drains outstanding tasks before joining.
+///
+/// Nesting rule: parallel_for() must NOT be called from inside a task
+/// running on the same pool. The call would block a worker waiting on
+/// futures that only the (already occupied) workers can complete —
+/// with every worker nested, the pool deadlocks silently. The pool
+/// detects this and throws std::logic_error instead. Submitting to a
+/// *different* pool from inside a task is fine.
 class ThreadPool {
 public:
     /// Spawn `threads` workers (0 means hardware_concurrency, min 1).
@@ -25,6 +32,12 @@ public:
 
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Process-wide shared pool (hardware_concurrency workers), created
+    /// on first use. sweep()/replicate()/soak-style harnesses that are
+    /// called repeatedly share this instead of paying thread spawn +
+    /// join on every call.
+    static ThreadPool& shared();
 
     /// Number of worker threads.
     [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
@@ -45,7 +58,12 @@ public:
     }
 
     /// Run fn(i) for every i in [begin, end) across the pool and wait.
-    /// The first exception thrown by any invocation is rethrown here.
+    /// The range is split into at most 4 contiguous chunks per worker
+    /// (one task + future per chunk, not per index), so the per-task
+    /// queue/allocation overhead is amortized over the chunk. The first
+    /// exception thrown by any invocation is rethrown here. Throws
+    /// std::logic_error when called from inside one of this pool's own
+    /// tasks (see the nesting rule above).
     void parallel_for(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t)>& fn);
 
@@ -58,5 +76,12 @@ private:
     std::condition_variable cv_;
     bool stopping_ = false;
 };
+
+/// Run fn(i) for every i in [begin, end) with `threads` workers: on the
+/// process-wide shared() pool when threads == 0 (the "auto" default of
+/// the sweep/replicate APIs), else on a transient pool of exactly
+/// `threads` workers (tests pin thread counts to prove determinism).
+void parallel_for_n(std::size_t threads, std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
 
 }  // namespace lcf::util

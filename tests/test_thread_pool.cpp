@@ -76,6 +76,55 @@ TEST(ThreadPool, SizeReportsWorkers) {
     EXPECT_GE(defaulted.size(), 1u);
 }
 
+TEST(ThreadPool, NestedParallelForOnSamePoolThrows) {
+    // A parallel_for from inside one of the pool's own tasks would park
+    // the worker on futures only the (busy) workers can complete — the
+    // pool must refuse instead of deadlocking silently.
+    ThreadPool pool(2);
+    auto f = pool.submit([&pool] {
+        pool.parallel_for(0, 4, [](std::size_t) {});
+    });
+    EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForOnDifferentPoolFromTaskIsAllowed) {
+    ThreadPool outer(2);
+    ThreadPool inner(2);
+    std::atomic<int> hits{0};
+    auto f = outer.submit([&inner, &hits] {
+        inner.parallel_for(0, 8, [&hits](std::size_t) { ++hits; });
+    });
+    f.get();
+    EXPECT_EQ(hits.load(), 8);
+}
+
+TEST(ThreadPool, SharedPoolIsReusedAcrossCalls) {
+    ThreadPool& a = ThreadPool::shared();
+    ThreadPool& b = ThreadPool::shared();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.size(), 1u);
+    std::atomic<int> hits{0};
+    a.parallel_for(0, 100, [&hits](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForNZeroUsesSharedPool) {
+    std::vector<std::atomic<int>> hits(64);
+    parallel_for_n(0, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksCoverUnevenRanges) {
+    // Ranges that do not divide evenly into 4 * workers chunks must
+    // still cover every index exactly once.
+    ThreadPool pool(3);
+    for (const std::size_t n : {1u, 2u, 11u, 12u, 13u, 97u}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallel_for(0, n, [&](std::size_t i) { ++hits[i]; });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+}
+
 TEST(ThreadPool, ParallelSumMatchesSequential) {
     ThreadPool pool(4);
     std::vector<long long> values(1000);

@@ -19,15 +19,16 @@ TEST(VoqBank, RoutesByDestination) {
     EXPECT_EQ(bank.total_buffered(), 3u);
 }
 
-TEST(VoqBank, RequestVectorReflectsOccupancy) {
+TEST(VoqBank, OccupancyReflectsPushes) {
     VoqBank bank(4, 8);
     bank.push(Packet{0, 0, 1, 0});
     bank.push(Packet{1, 0, 3, 0});
-    const auto req = bank.request_vector();
+    const auto& req = bank.occupancy();
     EXPECT_FALSE(req.test(0));
     EXPECT_TRUE(req.test(1));
     EXPECT_FALSE(req.test(2));
     EXPECT_TRUE(req.test(3));
+    EXPECT_EQ(bank.nonempty_count(), 2u);
 }
 
 TEST(VoqBank, FillRequestVectorClearsStaleBits) {
@@ -48,11 +49,13 @@ TEST(VoqBank, PerQueueCapacityEnforced) {
     EXPECT_TRUE(bank.push(Packet{3, 0, 0, 0}));   // queue 0 has space
 }
 
-TEST(VoqBank, RequestVectorEmptiesAfterDrain) {
+TEST(VoqBank, OccupancyEmptiesAfterDrain) {
     VoqBank bank(3, 4);
     bank.push(Packet{0, 0, 2, 0});
+    EXPECT_EQ(bank.nonempty_count(), 1u);
     bank.pop(2);
-    EXPECT_TRUE(bank.request_vector().none());
+    EXPECT_TRUE(bank.occupancy().none());
+    EXPECT_EQ(bank.nonempty_count(), 0u);
 }
 
 }  // namespace

@@ -1,17 +1,26 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_sched_speed run against the committed baseline.
+"""Compare a fresh benchmark run against a committed baseline.
 
 Usage:
     compare_bench.py BASELINE.json FRESH.json [--max-ratio 3.0]
+                     [--fresh-build-type Release]
 
-BASELINE.json is the committed BENCH_sched_speed.json (see
+BASELINE.json is a committed BENCH_*.json (see
 tools/make_bench_baseline.py); its "raw" map holds per-benchmark CPU
-times in nanoseconds. FRESH.json is raw google-benchmark JSON output
-(bench_sched_speed --json FRESH.json). The script exits nonzero when any
+times in nanoseconds and its "build_type"/"git_rev" record how it was
+produced. FRESH.json is raw google-benchmark JSON output
+(bench_* --json FRESH.json). The script exits nonzero when any
 benchmark present in both files is slower than max-ratio times its
 baseline — a deliberately loose bound so CI catches complexity
 regressions (an accidental O(n^2) inner loop) without flaking on
 machine-to-machine noise.
+
+Comparing across build types is meaningless (Debug runs are several
+times slower than Release); when --fresh-build-type is given and
+disagrees with the baseline's recorded build_type, a loud warning is
+printed. The comparison still runs — the loose ratio usually absorbs
+it in the Release-vs-Debug-baseline direction — but the output cannot
+be trusted as a perf signal.
 
 Only the Python standard library is used.
 """
@@ -21,10 +30,13 @@ import json
 import sys
 
 
-def load_cpu_times(path):
-    """Return {benchmark_name: cpu_time_ns} from either file format."""
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def cpu_times(doc):
+    """Return {benchmark_name: cpu_time_ns} from either file format."""
     if "raw" in doc:  # committed baseline format
         return {name: float(ns) for name, ns in doc["raw"].items()}
     out = {}
@@ -44,10 +56,31 @@ def main():
     parser.add_argument("--max-ratio", type=float, default=3.0,
                         help="fail when fresh/baseline exceeds this "
                              "(default: 3.0)")
+    parser.add_argument("--fresh-build-type", default=None,
+                        help="build type of the fresh run (e.g. from "
+                             "CMakeCache.txt); warns loudly when it "
+                             "differs from the baseline's build_type")
     args = parser.parse_args()
 
-    baseline = load_cpu_times(args.baseline)
-    fresh = load_cpu_times(args.fresh)
+    baseline_doc = load_doc(args.baseline)
+    baseline = cpu_times(baseline_doc)
+    fresh = cpu_times(load_doc(args.fresh))
+
+    base_build = baseline_doc.get("build_type", "unknown")
+    base_rev = baseline_doc.get("git_rev", "unknown")
+    print(f"baseline: {args.baseline} "
+          f"(build_type={base_build}, git_rev={base_rev})")
+    if (args.fresh_build_type is not None
+            and base_build != "unknown"
+            and args.fresh_build_type.lower() != base_build.lower()):
+        print("=" * 72, file=sys.stderr)
+        print(f"WARNING: build type mismatch — fresh run is "
+              f"'{args.fresh_build_type}' but the baseline was recorded "
+              f"from a '{base_build}' build.", file=sys.stderr)
+        print("WARNING: cross-build-type ratios are meaningless; "
+              "regenerate the baseline with tools/make_bench_baseline.py "
+              "from a matching build.", file=sys.stderr)
+        print("=" * 72, file=sys.stderr)
 
     common = sorted(set(baseline) & set(fresh))
     if not common:

@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Regenerate the committed BENCH_sched_speed.json perf baseline.
+"""Regenerate a committed perf baseline (BENCH_*.json).
 
 Usage:
-    make_bench_baseline.py [--build-dir build] [--output BENCH_sched_speed.json]
-                           [--min-time 0.05]
+    make_bench_baseline.py [--bench sched_speed|sim_throughput]
+                           [--build-dir build] [--output FILE]
+                           [--min-time 0.05] [--input FRESH.json]
+                           [--before BEFORE.json]
 
-Runs a Release-built bench_sched_speed over every registered benchmark,
-then writes a baseline document with:
+Runs the Release-built benchmark binary over every registered benchmark
+(or reuses an existing google-benchmark JSON via --input), then writes a
+baseline document with:
 
-  - "results": per-scheduler before/after rows pairing each optimized
-    LCF benchmark (BM_LcfCentral/...) with its pre-optimization
-    reference twin (BM_LcfCentralReference/...), including the speedup
-    ratio — the numbers quoted in docs/performance.md;
+  - "results": human-oriented before/after rows — for sched_speed the
+    optimized-vs-reference-twin pairs, for sim_throughput the
+    slots/sec of each grid point paired against a pre-change run given
+    via --before (the numbers quoted in docs/performance.md);
   - "raw": the flat {benchmark name: cpu ns} map tools/compare_bench.py
-    checks CI runs against.
+    checks CI runs against;
+  - "build_type" (read from the build dir's CMakeCache.txt — NOT the
+    google-benchmark library's build flavour) and "git_rev", so
+    compare_bench.py can warn when a Release run is compared against a
+    Debug baseline or vice versa.
 
 Only the Python standard library is used.
 """
@@ -21,43 +28,59 @@ Only the Python standard library is used.
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
 
-PAIRS = [
+SCHED_SPEED_PAIRS = [
     ("lcf_central", "BM_LcfCentral", "BM_LcfCentralReference"),
     ("lcf_central_rr", "BM_LcfCentralRr", "BM_LcfCentralRrReference"),
     ("lcf_dist", "BM_LcfDist", "BM_LcfDistReference"),
     ("lcf_dist_rr", "BM_LcfDistRr", "BM_LcfDistRrReference"),
 ]
 
+BENCHES = {
+    "sched_speed": {
+        "binary": "bench_sched_speed",
+        "output": "BENCH_sched_speed.json",
+        "workload": "random request matrices, density 0.35, "
+                    "iterations 4 (iterative schedulers)",
+    },
+    "sim_throughput": {
+        "binary": "bench_sim_throughput",
+        "output": "BENCH_sim_throughput.json",
+        "workload": "whole SwitchSim runs, 2048 slots (256 warmup), "
+                    "seed 42, scheduler iterations 4",
+    },
+}
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--output", default="BENCH_sched_speed.json")
-    parser.add_argument("--min-time", type=float, default=0.05)
-    args = parser.parse_args()
 
-    binary = os.path.join(args.build_dir, "bench", "bench_sched_speed")
-    if not os.path.exists(binary):
-        print(f"{binary} not found; build the Release tree first",
-              file=sys.stderr)
-        return 2
-
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
-        tmp_path = tmp.name
+def read_build_type(build_dir):
+    """CMAKE_BUILD_TYPE from the build tree's CMakeCache.txt."""
+    cache = os.path.join(build_dir, "CMakeCache.txt")
     try:
-        subprocess.run(
-            [binary, f"--benchmark_min_time={args.min_time}",
-             "--json", tmp_path],
-            check=True)
-        with open(tmp_path) as f:
-            doc = json.load(f)
-    finally:
-        os.unlink(tmp_path)
+        with open(cache) as f:
+            for line in f:
+                m = re.match(r"CMAKE_BUILD_TYPE:\w+=(.*)", line.strip())
+                if m:
+                    return m.group(1) or "unknown"
+    except OSError:
+        pass
+    return "unknown"
 
+
+def read_git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def raw_cpu_ns(doc):
+    """Flat {benchmark name: cpu ns} from google-benchmark JSON."""
     raw = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
@@ -65,9 +88,24 @@ def main():
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
         raw[b["name"]] = round(float(b["cpu_time"]) * scale, 1)
+    return raw
 
+
+def slots_per_sec(doc):
+    """{benchmark name: items_per_second} for sim_throughput rows."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is not None:
+            out[b["name"]] = round(float(ips), 1)
+    return out
+
+
+def sched_speed_results(raw):
     results = []
-    for sched, after_bm, before_bm in PAIRS:
+    for sched, after_bm, before_bm in SCHED_SPEED_PAIRS:
         sizes = sorted(
             int(name.split("/")[1])
             for name in raw
@@ -84,26 +122,103 @@ def main():
                 "cpu_ns_after": after,
                 "speedup": round(before / after, 2) if after > 0 else None,
             })
+    return results
+
+
+def sim_throughput_results(doc, before_doc):
+    after = slots_per_sec(doc)
+    before = slots_per_sec(before_doc) if before_doc else {}
+    results = []
+    for name in sorted(after):
+        row = {"point": name, "slots_per_sec": after[name]}
+        if name in before:
+            row["slots_per_sec_before"] = before[name]
+            if before[name] > 0:
+                row["speedup"] = round(after[name] / before[name], 2)
+        results.append(row)
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", choices=sorted(BENCHES),
+                        default="sched_speed")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: the bench's "
+                             "committed BENCH_*.json name)")
+    parser.add_argument("--min-time", type=float, default=0.05)
+    parser.add_argument("--input", default=None,
+                        help="reuse this google-benchmark JSON instead "
+                             "of running the binary")
+    parser.add_argument("--before", default=None,
+                        help="sim_throughput only: pre-change "
+                             "google-benchmark JSON whose slots/sec "
+                             "becomes the before side of each row")
+    args = parser.parse_args()
+
+    spec = BENCHES[args.bench]
+    output = args.output or spec["output"]
+
+    if args.input:
+        with open(args.input) as f:
+            doc = json.load(f)
+    else:
+        binary = os.path.join(args.build_dir, "bench", spec["binary"])
+        if not os.path.exists(binary):
+            print(f"{binary} not found; build the Release tree first",
+                  file=sys.stderr)
+            return 2
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            tmp_path = tmp.name
+        try:
+            subprocess.run(
+                [binary, f"--benchmark_min_time={args.min_time}",
+                 "--json", tmp_path],
+                check=True)
+            with open(tmp_path) as f:
+                doc = json.load(f)
+        finally:
+            os.unlink(tmp_path)
+
+    raw = raw_cpu_ns(doc)
+    if args.bench == "sched_speed":
+        results = sched_speed_results(raw)
+    else:
+        before_doc = None
+        if args.before:
+            with open(args.before) as f:
+                before_doc = json.load(f)
+        results = sim_throughput_results(doc, before_doc)
 
     baseline = {
-        "bench": "bench_sched_speed",
-        "workload": "random request matrices, density 0.35, "
-                    "iterations 4 (iterative schedulers)",
-        "build_type": doc.get("context", {}).get(
-            "library_build_type", "unknown"),
+        "bench": spec["binary"],
+        "workload": spec["workload"],
+        "build_type": read_build_type(args.build_dir),
+        "git_rev": read_git_rev(),
         "host_cpus": doc.get("context", {}).get("num_cpus"),
         "results": results,
         "raw": raw,
     }
-    with open(args.output, "w") as f:
+    with open(output, "w") as f:
         json.dump(baseline, f, indent=2)
         f.write("\n")
-    print(f"wrote {args.output}: {len(results)} before/after rows, "
-          f"{len(raw)} raw entries")
+    print(f"wrote {output}: {len(results)} result rows, "
+          f"{len(raw)} raw entries "
+          f"(build_type={baseline['build_type']}, "
+          f"git_rev={baseline['git_rev']})")
     for row in results:
-        print(f"  {row['scheduler']:16} n={row['n']:<4} "
-              f"{row['cpu_ns_before']:>12.1f} -> {row['cpu_ns_after']:>10.1f} ns "
-              f"({row['speedup']}x)")
+        if args.bench == "sched_speed":
+            print(f"  {row['scheduler']:16} n={row['n']:<4} "
+                  f"{row['cpu_ns_before']:>12.1f} -> "
+                  f"{row['cpu_ns_after']:>10.1f} ns ({row['speedup']}x)")
+        else:
+            before = row.get("slots_per_sec_before")
+            speedup = row.get("speedup")
+            suffix = (f"  (before {before:>10.1f}, {speedup}x)"
+                      if before is not None else "")
+            print(f"  {row['point']:50} {row['slots_per_sec']:>12.1f} "
+                  f"slots/s{suffix}")
     return 0
 
 
