@@ -47,8 +47,8 @@ void run_sim_point(benchmark::State& state, const std::string& sched,
             lcf::sim::run_named(sched, config, traffic, load, sched_config);
         benchmark::DoNotOptimize(result);
     }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations() * kSlots));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kSlots));
 }
 
 void register_grid() {

@@ -38,10 +38,26 @@ int main(int argc, char** argv) {
     std::string loads_arg = "0.1,0.3,0.5,0.7,0.8,0.9,0.95,1.0";
     std::string traffic = "uniform";
     std::string csv_path;
-    std::uint64_t ports = 16;
+    // Flagship CLI contract (tools/lint_contracts.py, rule
+    // config-surface): every scalar SimConfig knob is exposed as a flag
+    // here, so any simulation the library can run is reachable from the
+    // command line. Defaults mirror SimConfig's (paper values).
+    lcf::sim::SimConfig defaults;
+    std::uint64_t ports = defaults.ports;
     std::uint64_t slots = 50000;
+    std::uint64_t warmup_slots = 0;  // 0 = slots / 10
+    std::uint64_t seed = defaults.seed;
+    std::uint64_t voq_capacity = defaults.voq_capacity;
+    std::uint64_t pq_capacity = defaults.pq_capacity;
+    std::uint64_t fifo_capacity = defaults.fifo_capacity;
+    std::uint64_t outbuf_capacity = defaults.outbuf_capacity;
+    std::uint64_t speedup = defaults.speedup;
+    std::uint64_t clos_middle = defaults.clos_middle;
+    std::uint64_t clos_group = defaults.clos_group;
+    std::uint64_t trace_capacity = defaults.trace_capacity;
     std::uint64_t iterations = 4;
     std::uint64_t threads = 0;
+    bool record_service_matrix = defaults.record_service_matrix;
     bool paranoid = false;
 
     lcf::util::CliParser cli("Custom latency-vs-load sweep");
@@ -52,6 +68,25 @@ int main(int argc, char** argv) {
         .flag("csv", "write results to this CSV file", &csv_path)
         .flag("ports", "switch radix", &ports)
         .flag("slots", "slots per grid point", &slots)
+        .flag("warmup-slots", "slots excluded from statistics (0 = slots/10)",
+              &warmup_slots)
+        .flag("seed", "simulation RNG seed", &seed)
+        .flag("voq-capacity", "entries per virtual output queue",
+              &voq_capacity)
+        .flag("pq-capacity", "entries per input packet queue", &pq_capacity)
+        .flag("fifo-capacity", "per-input FIFO depth (fifo mode)",
+              &fifo_capacity)
+        .flag("outbuf-capacity", "per-output buffer depth", &outbuf_capacity)
+        .flag("speedup", "crossbar speedup s (scheduler runs s times/slot)",
+              &speedup)
+        .flag("clos-middle", "Clos middle switches (0 = ideal crossbar)",
+              &clos_middle)
+        .flag("clos-group", "Clos ports per ingress/egress switch",
+              &clos_group)
+        .flag("trace-capacity", "per-cycle trace ring size (0 = off)",
+              &trace_capacity)
+        .flag("record-service-matrix", "record per-flow delivery counts",
+              &record_service_matrix)
         .flag("iterations", "iterative-scheduler iterations", &iterations)
         .flag("threads", "worker threads (0 = all cores)", &threads)
         .flag("paranoid", "validate scheduler invariants every cycle",
@@ -71,7 +106,17 @@ int main(int argc, char** argv) {
     lcf::sim::SimConfig config;
     config.ports = ports;
     config.slots = slots;
-    config.warmup_slots = slots / 10;
+    config.warmup_slots = warmup_slots != 0 ? warmup_slots : slots / 10;
+    config.seed = seed;
+    config.voq_capacity = voq_capacity;
+    config.pq_capacity = pq_capacity;
+    config.fifo_capacity = fifo_capacity;
+    config.outbuf_capacity = outbuf_capacity;
+    config.speedup = speedup;
+    config.clos_middle = clos_middle;
+    config.clos_group = clos_group;
+    config.trace_capacity = trace_capacity;
+    config.record_service_matrix = record_service_matrix;
     config.paranoid = paranoid;
 
     const auto points = lcf::sim::sweep(

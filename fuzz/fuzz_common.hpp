@@ -1,0 +1,60 @@
+#pragma once
+// Shared plumbing for the libFuzzer harnesses and their replay twins.
+// Every harness defines
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size)
+//
+// and signals an invariant violation by printing a diagnostic and
+// aborting — the idiom both libFuzzer and the standalone corpus-replay
+// driver (replay_main.cpp) turn into a hard failure.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+// The libFuzzer entry point each harness defines. Declared here so the
+// definitions satisfy -Wmissing-declarations under the replay build too.
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+// Abort with a source location when `cond` is false. A macro (not a
+// function) so the printed condition text is the actual invariant.
+#define LCF_FUZZ_ASSERT(cond, ...)                                        \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::fprintf(stderr, "FUZZ INVARIANT FAILED %s:%d: %s\n",     \
+                         __FILE__, __LINE__, #cond);                      \
+            std::fprintf(stderr, __VA_ARGS__);                            \
+            std::fprintf(stderr, "\n");                                   \
+            std::abort();                                                 \
+        }                                                                 \
+    } while (0)
+
+namespace lcf::fuzz {
+
+/// Forward-only byte reader over the fuzz input. Reads past the end
+/// return zeros, so every input (including the empty one) drives a
+/// complete, deterministic harness run.
+class ByteReader {
+public:
+    ByteReader(const unsigned char* data, std::size_t size) noexcept
+        : data_(data), size_(size) {}
+
+    [[nodiscard]] unsigned char u8() noexcept {
+        return pos_ < size_ ? data_[pos_++] : 0;
+    }
+    /// u8() reduced to [0, bound) — bound must be nonzero.
+    [[nodiscard]] std::size_t index(std::size_t bound) noexcept {
+        return static_cast<std::size_t>(u8()) % bound;
+    }
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return size_ - pos_;
+    }
+
+private:
+    const unsigned char* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace lcf::fuzz

@@ -1,0 +1,79 @@
+// Standalone driver that replays corpus files through a fuzz harness's
+// LLVMFuzzerTestOneInput. Built with any compiler (no libFuzzer
+// runtime), it is what the ctest corpus-replay tests and non-clang
+// developers run:
+//
+//   fuzz_packets_replay fuzz/corpus/packets            # whole directory
+//   fuzz_scheduler_replay crash-1234.bin               # single repro
+//
+// Exit status: 0 when every input ran clean, 1 on empty/unreadable
+// arguments. Invariant violations abort (same behaviour as the fuzzer).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool run_file(const std::filesystem::path& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+        return false;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(file)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <corpus-dir-or-file>...\n"
+                     "replays each input through LLVMFuzzerTestOneInput\n",
+                     argv[0]);
+        return 1;
+    }
+    std::size_t ran = 0;
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::filesystem::path arg(argv[i]);
+        if (std::filesystem::is_directory(arg)) {
+            std::vector<std::filesystem::path> files;
+            for (const auto& entry :
+                 std::filesystem::directory_iterator(arg)) {
+                if (entry.is_regular_file()) files.push_back(entry.path());
+            }
+            // Deterministic order regardless of directory enumeration.
+            std::sort(files.begin(), files.end());
+            for (const auto& f : files) {
+                ok = run_file(f) && ok;
+                ++ran;
+            }
+        } else {
+            ok = run_file(arg) && ok;
+            ++ran;
+        }
+    }
+    if (ran == 0) {
+        std::fprintf(stderr, "replay: no inputs found\n");
+        return 1;
+    }
+    if (!ok) {
+        std::fprintf(stderr, "replay: unreadable input(s)\n");
+        return 1;
+    }
+    std::printf("replay: %zu input(s) ran clean\n", ran);
+    return 0;
+}

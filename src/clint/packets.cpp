@@ -78,6 +78,11 @@ std::optional<GrantPacket> GrantPacket::decode(
         return std::nullopt;
     }
     if (!crc_ok(wire)) return std::nullopt;
+    // Reserved flag bits must be zero: the encoder never sets them, and
+    // accepting them would let a CRC-colliding corruption smuggle a
+    // non-canonical frame past the round-trip property the fuzz harness
+    // pins (encode(decode(wire)) == wire).
+    if ((wire[2] & ~0x07) != 0) return std::nullopt;
     GrantPacket p;
     p.node_id = static_cast<std::uint8_t>(wire[1] >> 4);
     p.gnt = static_cast<std::uint8_t>(wire[1] & 0x0F);

@@ -3,6 +3,8 @@
 
 #include "clint/packets.hpp"
 
+#include "clint/crc16.hpp"
+
 #include <gtest/gtest.h>
 
 #include "util/rng.hpp"
@@ -106,6 +108,56 @@ TEST(GrantPacket, RejectsCorruption) {
         auto bad = wire;
         bad[byte] = static_cast<std::uint8_t>(bad[byte] ^ 0x10);
         EXPECT_FALSE(GrantPacket::decode(bad).has_value());
+    }
+}
+
+// Regression for a gap the packets fuzz harness's round-trip property
+// surfaced: the five reserved bits of the grant flag byte were ignored
+// by decode(), so a CRC-valid frame with reserved bits set decoded to a
+// packet whose re-encoding differed from the wire — a non-canonical
+// frame the encoder can never produce. Reserved bits must now be zero.
+TEST(GrantPacket, RejectsReservedFlagBits) {
+    const auto canonical = GrantPacket{3, 5, true, false, false}.encode();
+    for (int bit = 3; bit < 8; ++bit) {
+        // Rebuild the frame with one reserved bit set and a *correct*
+        // CRC, so only the canonical-frame rule can reject it.
+        auto body = std::vector<std::uint8_t>(canonical.begin(),
+                                              canonical.end() - 2);
+        body[2] = static_cast<std::uint8_t>(body[2] | (1U << bit));
+        const std::uint16_t crc = crc16({body.data(), body.size()});
+        body.push_back(static_cast<std::uint8_t>(crc >> 8));
+        body.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+        EXPECT_FALSE(GrantPacket::decode(body).has_value())
+            << "reserved bit " << bit << " accepted";
+    }
+    // The canonical frame itself still decodes.
+    EXPECT_TRUE(GrantPacket::decode(canonical).has_value());
+}
+
+// The fuzzer's garbage-byte path, pinned as a unit test: every single-
+// byte overwrite (not just single-bit flips) of valid config and grant
+// frames must be rejected — a <= 8-bit burst is always caught by CRC-16,
+// and byte 0 by the type tag.
+TEST(Packets, RejectsEverySingleByteOverwrite) {
+    const auto cfg = ConfigPacket{0xDEAD, 0xBEEF, 0x0F0F, 0xF0F0}.encode();
+    const auto gnt = GrantPacket{9, 6, true, true, false}.encode();
+    util::Xoshiro256 rng(1234);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto value = static_cast<std::uint8_t>(rng());
+        for (std::size_t at = 0; at < cfg.size(); ++at) {
+            if (cfg[at] == value) continue;
+            auto bad = cfg;
+            bad[at] = value;
+            EXPECT_FALSE(ConfigPacket::decode(bad).has_value())
+                << "config byte " << at << " <- " << static_cast<int>(value);
+        }
+        for (std::size_t at = 0; at < gnt.size(); ++at) {
+            if (gnt[at] == value) continue;
+            auto bad = gnt;
+            bad[at] = value;
+            EXPECT_FALSE(GrantPacket::decode(bad).has_value())
+                << "grant byte " << at << " <- " << static_cast<int>(value);
+        }
     }
 }
 
